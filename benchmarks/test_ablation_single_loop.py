@@ -1,0 +1,32 @@
+"""Section IV-C ablation: a single global Cyclone loop vs forced splits.
+
+Paper message: splitting the stabilizers across independent or
+concurrent loops never helps for HGP / BB codes because their long-range
+stabilizers always share data qubits across any cut — the single global
+loop is retained.
+"""
+
+from repro.analysis import independent_loop_partition, single_vs_split_loop_table
+from repro.codes import code_by_name
+
+CODES = ["BB [[72,12,6]]", "HGP [[225,9,6]]"]
+
+
+def test_ablation_single_vs_split_loops(benchmark, report):
+    def build_tables():
+        return {name: single_vs_split_loop_table(code_by_name(name),
+                                                 loop_counts=(1, 2, 4))
+                for name in CODES}
+
+    tables = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+
+    for name, table in tables.items():
+        report(table)
+        code = code_by_name(name)
+        # Neither code admits an independent split...
+        assert len(independent_loop_partition(code)) == 1
+        # ...and forcing one is never better than the single global loop.
+        times = dict(zip(table.column("num_loops"),
+                         table.column("estimated_time_us")))
+        assert times[1] <= times[2]
+        assert times[1] <= times[4]

@@ -1,0 +1,49 @@
+"""Section IV-A: the closed-form worst-case Cyclone runtime bound.
+
+The compiled Cyclone schedule must never exceed the analytic bound
+2x (s + ceil(m_basis/x)(t + g ceil(n/x))) and should track it within a
+modest factor for the base configuration.
+"""
+
+from repro.codes import code_by_name
+from repro.core.results import ResultTable
+from repro.qccd.compilers import CycloneCompiler, cyclone_worst_case_bound_us
+from repro.qccd.timing import OperationTimes
+
+CODES = ["BB [[72,12,6]]", "BB [[144,12,12]]", "HGP [[225,9,6]]"]
+TRAP_FRACTIONS = (1.0, 0.5, 0.25)
+
+
+def _bound_table() -> ResultTable:
+    times = OperationTimes()
+    table = ResultTable(
+        title="Cyclone worst-case runtime bound vs compiled schedule",
+        columns=["code", "num_traps", "execution_time_us",
+                 "worst_case_bound_us", "bound_ratio"],
+    )
+    for code_name in CODES:
+        code = code_by_name(code_name)
+        m_basis = max(code.num_x_stabilizers, code.num_z_stabilizers)
+        for fraction in TRAP_FRACTIONS:
+            num_traps = max(int(m_basis * fraction), 1)
+            compiled = CycloneCompiler(num_traps=num_traps,
+                                       times=times).compile(code)
+            bound = cyclone_worst_case_bound_us(
+                code, num_traps, times, compiled.metadata["chain_length"]
+            )
+            table.add_row(
+                code=code_name, num_traps=num_traps,
+                execution_time_us=compiled.execution_time_us,
+                worst_case_bound_us=bound,
+                bound_ratio=compiled.execution_time_us / bound,
+            )
+    return table
+
+
+def test_cyclone_runtime_bound(benchmark, report):
+    table = benchmark.pedantic(_bound_table, rounds=1, iterations=1)
+    report(table)
+
+    for row in table.rows:
+        assert row["execution_time_us"] <= row["worst_case_bound_us"] * 1.05
+        assert row["bound_ratio"] > 0.1

@@ -1,0 +1,31 @@
+"""Figure 3: speedup of maximally parallel vs fully serial schedules.
+
+Paper series: bars of relative speedup (x times over fully serialized)
+for each HGP and BB code, growing with code size.
+"""
+
+from repro.analysis import speedup_table
+
+CODES = [
+    "HGP [[225,9,6]]",
+    "HGP [[400,16,6]]",
+    "HGP [[625,25,8]]",
+    "BB [[72,12,6]]",
+    "BB [[90,8,10]]",
+    "BB [[108,8,10]]",
+    "BB [[144,12,12]]",
+]
+
+
+def test_fig03_parallel_vs_serial_speedup(benchmark, report):
+    table = benchmark.pedantic(
+        speedup_table, args=(CODES,), rounds=1, iterations=1
+    )
+    report(table)
+
+    speedups = dict(zip(table.column("code"), table.column("speedup")))
+    # Every code is massively parallelizable (paper: 1-2 orders of magnitude).
+    assert all(value > 10 for value in speedups.values())
+    # Speedup grows with code size within each family.
+    assert speedups["HGP [[625,25,8]]"] > speedups["HGP [[225,9,6]]"]
+    assert speedups["BB [[144,12,12]]"] > speedups["BB [[72,12,6]]"]

@@ -1,0 +1,26 @@
+"""Figure 6: the software (static/dynamic) x hardware (grid/circle) matrix.
+
+Paper message: only the coordinated dynamic-software + circular-hardware
+pairing (Cyclone) realises the parallelism; static EJF on a circle is
+disastrous and dynamic scheduling on a grid roadblocks heavily.
+"""
+
+from repro.analysis import confusion_matrix
+from repro.codes import code_by_name
+
+
+def test_fig06_confusion_matrix(benchmark, report):
+    code = code_by_name("HGP [[225,9,6]]")
+    table = benchmark.pedantic(confusion_matrix, args=(code,), rounds=1,
+                               iterations=1)
+    report(table)
+
+    cells = {
+        (row["software"], row["hardware"]): row["execution_time_us"]
+        for row in table.rows
+    }
+    cyclone = cells[("dynamic", "circle")]
+    assert cyclone == min(cells.values())
+    assert cells[("static", "circle")] == max(cells.values())
+    # The grid baseline is a few times slower than Cyclone.
+    assert cells[("static", "grid")] / cyclone > 2.0

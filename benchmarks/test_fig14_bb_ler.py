@@ -1,0 +1,61 @@
+"""Figure 14: logical error rate, Cyclone vs baseline, bivariate bicycle codes.
+
+Paper series: for each BB code and each physical error rate p, the LER
+of the baseline grid codesign (labeled B) and of Cyclone (labeled C);
+Cyclone improves the LER by up to ~3 orders of magnitude and keeps every
+code below threshold across the tested p range.
+
+The committed benchmark uses a reduced shot budget (see
+benchmarks/conftest.py) so absolute LER floors are limited by 1/shots;
+the asserted property is the ordering: Cyclone is never worse.
+"""
+
+import pytest
+
+from repro.codes import code_by_name
+from repro.core import codesign_by_name, logical_error_rate
+from repro.core.results import ResultTable
+
+BB_CODES = ["BB [[72,12,6]]", "BB [[144,12,12]]"]
+PHYSICAL_ERROR_RATES = [3e-4, 1e-3]
+
+
+def _bb_ler_table(shots: int, rounds: int) -> ResultTable:
+    table = ResultTable(
+        title="Fig. 14 — LER: Cyclone (C) vs baseline (B) on BB codes",
+        columns=["code", "design", "p", "round_latency_us",
+                 "logical_error_rate", "ler_per_round"],
+    )
+    for code_name in BB_CODES:
+        code = code_by_name(code_name)
+        latencies = {
+            "B": codesign_by_name("baseline").compile(code).execution_time_us,
+            "C": codesign_by_name("cyclone").compile(code).execution_time_us,
+        }
+        for p in PHYSICAL_ERROR_RATES:
+            for design, latency in latencies.items():
+                result = logical_error_rate(code, p, latency, shots=shots,
+                                            rounds=rounds, seed=17)
+                table.add_row(
+                    code=code_name, design=design, p=p,
+                    round_latency_us=latency,
+                    logical_error_rate=result.logical_error_rate,
+                    ler_per_round=result.logical_error_rate_per_round,
+                )
+    return table
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_bb_logical_error_rates(benchmark, report, bench_shots,
+                                      bench_rounds):
+    table = benchmark.pedantic(
+        _bb_ler_table, args=(bench_shots, bench_rounds), rounds=1, iterations=1
+    )
+    report(table)
+
+    for code_name in BB_CODES:
+        for p in PHYSICAL_ERROR_RATES:
+            rows = {row["design"]: row["logical_error_rate"]
+                    for row in table.rows
+                    if row["code"] == code_name and row["p"] == p}
+            assert rows["C"] <= rows["B"] + 1e-9

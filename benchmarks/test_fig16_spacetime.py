@@ -1,0 +1,49 @@
+"""Figure 16: spacetime cost of the baseline relative to Cyclone.
+
+Paper series: per code, the spacetime cost (traps x execution time x
+ancilla qubits) of the baseline grid divided by Cyclone's; the overall
+improvement is up to ~20x.
+"""
+
+from repro.codes import code_by_name
+from repro.core import codesign_by_name, spacetime_comparison
+from repro.core.results import ResultTable
+
+CODES = ["HGP [[225,9,6]]", "BB [[72,12,6]]", "BB [[144,12,12]]"]
+
+
+def _spacetime_table() -> ResultTable:
+    table = ResultTable(
+        title="Fig. 16 — spacetime cost of baseline relative to Cyclone",
+        columns=["code", "baseline_cost", "cyclone_cost",
+                 "improvement_factor", "trap_ratio", "ancilla_ratio",
+                 "time_ratio"],
+    )
+    for code_name in CODES:
+        code = code_by_name(code_name)
+        baseline = codesign_by_name("baseline").compile(code)
+        cyclone = codesign_by_name("cyclone").compile(code)
+        comparison = spacetime_comparison(baseline, cyclone)
+        table.add_row(
+            code=code_name,
+            baseline_cost=comparison["baseline_cost"],
+            cyclone_cost=comparison["candidate_cost"],
+            improvement_factor=comparison["improvement_factor"],
+            trap_ratio=comparison["trap_ratio"],
+            ancilla_ratio=comparison["ancilla_ratio"],
+            time_ratio=comparison["time_ratio"],
+        )
+    return table
+
+
+def test_fig16_spacetime_cost(benchmark, report):
+    table = benchmark.pedantic(_spacetime_table, rounds=1, iterations=1)
+    report(table)
+
+    for row in table.rows:
+        # Traps and ancillas are halved, execution is a few times faster,
+        # so the combined improvement is order 10x (paper: up to ~20x).
+        assert row["trap_ratio"] >= 1.9
+        assert row["ancilla_ratio"] >= 1.9
+        assert row["time_ratio"] > 1.5
+        assert row["improvement_factor"] > 8

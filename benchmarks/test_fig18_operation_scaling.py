@@ -1,0 +1,43 @@
+"""Figure 18: sensitivity to uniformly reducing gate and shuttling times.
+
+Paper message: as operation times improve by a fraction r, both the
+baseline and Cyclone improve and the gap between them narrows, because
+the code's own error-correcting ability becomes the limiting factor.
+"""
+
+from repro.analysis import operation_time_sensitivity
+from repro.codes import code_by_name
+
+
+def test_fig18_operation_time_reduction(benchmark, report, bench_shots,
+                                        bench_rounds):
+    code = code_by_name("HGP [[225,9,6]]")
+    table = benchmark.pedantic(
+        operation_time_sensitivity,
+        kwargs={
+            "code": code,
+            "reductions": (0.0, 0.5, 0.75),
+            "physical_error_rate": 1e-4,
+            "shots": bench_shots,
+            "rounds": bench_rounds,
+            "seed": 29,
+        },
+        rounds=1, iterations=1,
+    )
+    report(table)
+
+    def times_for(design):
+        return {row["reduction"]: row["execution_time_us"]
+                for row in table.rows if row["design"] == design}
+
+    baseline = times_for("baseline")
+    cyclone = times_for("cyclone")
+    # Latency decreases monotonically with r for both designs.
+    for series in (baseline, cyclone):
+        keys = sorted(series)
+        values = [series[k] for k in keys]
+        assert values == sorted(values, reverse=True)
+    # The absolute latency gap between baseline and Cyclone narrows as r grows.
+    gap_at_zero = baseline[0.0] - cyclone[0.0]
+    gap_at_max = baseline[0.75] - cyclone[0.75]
+    assert gap_at_max < gap_at_zero

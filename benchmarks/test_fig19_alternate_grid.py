@@ -1,0 +1,43 @@
+"""Figure 19: execution times of the alternate grid, baseline and Cyclone.
+
+Paper message: for HGP and BB codes the alternating-mesh grid with
+L-shaped junctions beats the standard baseline grid, but Cyclone
+outperforms both by a wide margin.  Raw execution times are compared.
+"""
+
+from repro.codes import code_by_name
+from repro.core import codesign_by_name
+from repro.core.results import ResultTable
+
+CODES = ["HGP [[225,9,6]]", "BB [[144,12,12]]"]
+DESIGNS = ["alternate_grid", "baseline", "cyclone"]
+
+
+def _execution_time_table() -> ResultTable:
+    table = ResultTable(
+        title="Fig. 19 — execution times: alternate grid vs baseline vs Cyclone",
+        columns=["code", "design", "execution_time_us",
+                 "roadblock_events"],
+    )
+    for code_name in CODES:
+        code = code_by_name(code_name)
+        for design in DESIGNS:
+            compiled = codesign_by_name(design).compile(code)
+            table.add_row(
+                code=code_name, design=design,
+                execution_time_us=compiled.execution_time_us,
+                roadblock_events=compiled.metadata.get("roadblock_events", 0),
+            )
+    return table
+
+
+def test_fig19_alternate_grid_execution_times(benchmark, report):
+    table = benchmark.pedantic(_execution_time_table, rounds=1, iterations=1)
+    report(table)
+
+    for code_name in CODES:
+        times = {row["design"]: row["execution_time_us"]
+                 for row in table.rows if row["code"] == code_name}
+        assert times["alternate_grid"] < times["baseline"]
+        assert times["cyclone"] < times["alternate_grid"]
+        assert times["baseline"] / times["cyclone"] > 2.0

@@ -1,0 +1,27 @@
+"""Figure 21: sensitivity to IonSWAP vs GateSWAP.
+
+Paper message: the baseline tends to do better with IonSWAP while
+Cyclone does better with GateSWAP, and Cyclone keeps a convincing
+speedup under either swap implementation.
+"""
+
+from repro.analysis import swap_kind_sensitivity
+from repro.codes import code_by_name
+
+
+def test_fig21_ion_vs_gate_swap(benchmark, report):
+    code = code_by_name("HGP [[225,9,6]]")
+    table = benchmark.pedantic(swap_kind_sensitivity, args=(code,), rounds=1,
+                               iterations=1)
+    report(table)
+
+    times = {(row["design"], row["swap_kind"]): row["execution_time_us"]
+             for row in table.rows}
+    # The paper's robust conclusion: Cyclone keeps a convincing speedup
+    # over the baseline regardless of which swap implementation is used.
+    for kind in ("gate_swap", "ion_swap"):
+        assert times[("baseline", kind)] / times[("cyclone", kind)] > 2.0
+    # Swap choice shifts each design's latency by well under 2x.
+    for design in ("baseline", "cyclone"):
+        ratio = times[(design, "gate_swap")] / times[(design, "ion_swap")]
+        assert 0.5 < ratio < 2.0

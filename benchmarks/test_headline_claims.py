@@ -1,0 +1,51 @@
+"""Abstract / Section I headline claims.
+
+Regenerates the paper's headline numbers in one table:
+
+* up to ~4x execution-time speedup over the baseline grid,
+* ~2x fewer traps and ancilla qubits,
+* a constant number of DACs versus one per trap,
+* an overall spacetime improvement of order 10-20x.
+"""
+
+from repro.codes import code_by_name
+from repro.core import codesign_by_name, spacetime_comparison
+from repro.core.results import ResultTable
+
+CODES = ["HGP [[225,9,6]]", "BB [[72,12,6]]", "BB [[144,12,12]]"]
+
+
+def _headline_table() -> ResultTable:
+    table = ResultTable(
+        title="Headline claims — Cyclone vs baseline grid",
+        columns=["code", "speedup", "trap_ratio", "ancilla_ratio",
+                 "baseline_dacs", "cyclone_dacs", "spacetime_improvement"],
+    )
+    for code_name in CODES:
+        code = code_by_name(code_name)
+        baseline = codesign_by_name("baseline").compile(code)
+        cyclone = codesign_by_name("cyclone").compile(code)
+        comparison = spacetime_comparison(baseline, cyclone)
+        table.add_row(
+            code=code_name,
+            speedup=comparison["time_ratio"],
+            trap_ratio=comparison["trap_ratio"],
+            ancilla_ratio=comparison["ancilla_ratio"],
+            baseline_dacs=baseline.metadata["dac_count"],
+            cyclone_dacs=cyclone.metadata["dac_count"],
+            spacetime_improvement=comparison["improvement_factor"],
+        )
+    return table
+
+
+def test_headline_claims(benchmark, report):
+    table = benchmark.pedantic(_headline_table, rounds=1, iterations=1)
+    report(table)
+
+    for row in table.rows:
+        assert 2.0 <= row["speedup"] <= 8.0
+        assert row["trap_ratio"] >= 1.9
+        assert row["ancilla_ratio"] >= 1.9
+        assert row["cyclone_dacs"] == 1
+        assert row["baseline_dacs"] > 50
+        assert row["spacetime_improvement"] > 8

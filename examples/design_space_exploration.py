@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Design-space exploration: every codesign on one code.
+
+Reproduces the flavour of the paper's Sections III-IV exploration: the
+baseline grid, the dynamic-scheduled grid, the alternate grid, static
+EJF on a ring, the mesh junction network, the alternative baseline
+compilers and Cyclone (base and condensed forms) are all compiled for
+the same code, and their temporal, spatial and control costs tabulated.
+
+Run with:  python examples/design_space_exploration.py [code-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import code_by_name, codesign_by_name, sweep_architectures
+from repro.core import Codesign
+from repro.core.results import ResultTable
+from repro.qccd.compilers import CycloneCompiler
+
+
+def condensed_cyclone_table(code) -> ResultTable:
+    """Cyclone's trap-count / capacity trade-off (Figure 13 style)."""
+    m_basis = max(code.num_x_stabilizers, code.num_z_stabilizers)
+    table = ResultTable(
+        title=f"Condensed Cyclone variants on {code.name}",
+        columns=["num_traps", "trap_capacity", "chain_length",
+                 "execution_time_us", "worst_case_bound_us"],
+    )
+    for num_traps in sorted({1, 9, 16, 36, 64, m_basis // 2, m_basis}):
+        num_traps = max(1, min(num_traps, m_basis))
+        compiled = CycloneCompiler(num_traps=num_traps).compile(code)
+        table.add_row(
+            num_traps=num_traps,
+            trap_capacity=compiled.metadata["trap_capacity"],
+            chain_length=compiled.metadata["chain_length"],
+            execution_time_us=compiled.execution_time_us,
+            worst_case_bound_us=compiled.metadata["worst_case_bound_us"],
+        )
+    return table
+
+
+def main() -> None:
+    code_name = sys.argv[1] if len(sys.argv) > 1 else "BB [[72,12,6]]"
+    code = code_by_name(code_name)
+    print(f"Exploring the codesign space for {code.name} "
+          f"({code.num_qubits} data qubits, {code.num_stabilizers} "
+          f"stabilizers)\n")
+
+    codesigns: list[Codesign] = [
+        codesign_by_name("baseline"),
+        codesign_by_name("baseline_grid_dynamic"),
+        codesign_by_name("alternate_grid"),
+        codesign_by_name("ejf_ring"),
+        codesign_by_name("mesh_junction"),
+        codesign_by_name("baseline2"),
+        codesign_by_name("baseline3"),
+        codesign_by_name("cyclone"),
+    ]
+    table = sweep_architectures(code, codesigns)
+    print(table.to_text())
+
+    print()
+    print(condensed_cyclone_table(code).to_text())
+
+    times = dict(zip(table.column("codesign"),
+                     table.column("execution_time_us")))
+    best = min(times, key=times.get)
+    print(f"\nFastest codesign: {best} "
+          f"({times[best] / 1000:.2f} ms per round)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a code onto Cyclone and the baseline, compare LER.
+
+This walks the library's main pipeline end to end:
+
+1. build a code from the library (the paper's [[225,9,6]] hypergraph
+   product code),
+2. compile one round of syndrome extraction onto the baseline grid and
+   onto Cyclone,
+3. compare execution latency and spatial cost,
+4. run hardware-aware memory experiments at a physical error rate and
+   compare logical error rates.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    code_by_name,
+    codesign_by_name,
+    logical_error_rate,
+    spacetime_comparison,
+)
+
+
+def main() -> None:
+    code = code_by_name("HGP [[225,9,6]]")
+    print(f"Code: {code.name}  [[n={code.num_qubits}, "
+          f"k={code.num_logical_qubits}, d={code.distance}]]  "
+          f"({code.num_stabilizers} stabilizers)")
+
+    print("\nCompiling one round of syndrome extraction...")
+    baseline = codesign_by_name("baseline").compile(code)
+    cyclone = codesign_by_name("cyclone").compile(code)
+
+    for compiled in (baseline, cyclone):
+        print(f"  {compiled.architecture:28s} "
+              f"latency = {compiled.execution_time_us / 1000:8.2f} ms   "
+              f"traps = {compiled.metadata['num_traps']:4d}   "
+              f"ancilla = {compiled.metadata['num_ancilla']:4d}   "
+              f"DACs = {compiled.metadata['dac_count']:4d}")
+
+    speedup = baseline.execution_time_us / cyclone.execution_time_us
+    comparison = spacetime_comparison(baseline, cyclone)
+    print(f"\nCyclone speedup:              {speedup:.2f}x")
+    print(f"Cyclone spacetime improvement: "
+          f"{comparison['improvement_factor']:.1f}x")
+
+    physical_error_rate = 5e-4
+    shots = 200
+    print(f"\nMemory experiments at p = {physical_error_rate:g} "
+          f"({shots} shots, {min(code.distance or 3, 4)} rounds)...")
+    for label, compiled in (("baseline", baseline), ("cyclone", cyclone)):
+        result = logical_error_rate(
+            code,
+            physical_error_rate=physical_error_rate,
+            round_latency_us=compiled.execution_time_us,
+            shots=shots,
+            rounds=min(code.distance or 3, 4),
+            seed=1,
+        )
+        print(f"  {label:10s} logical error rate per shot = "
+              f"{result.logical_error_rate:.4f}   per round = "
+              f"{result.logical_error_rate_per_round:.5f}")
+
+    print("\nDone.  See examples/design_space_exploration.py and "
+          "examples/bb_memory_comparison.py for deeper dives.")
+
+
+if __name__ == "__main__":
+    main()

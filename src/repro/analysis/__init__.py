@@ -1,0 +1,45 @@
+"""Higher-level analyses used by the benchmark harness.
+
+Each function here computes the data behind one of the paper's analysis
+figures (speedup bars, confusion matrix, sensitivity sweeps, compiler
+comparison) and returns plain dictionaries / result tables so the
+benchmarks can print the same rows and series the paper plots.
+"""
+
+from repro.analysis.parallelism import (
+    parallel_vs_serial_speedup,
+    speedup_table,
+)
+from repro.analysis.confusion import confusion_matrix
+from repro.analysis.sensitivity import (
+    junction_crossing_sensitivity,
+    trap_arrangement_sensitivity,
+    loose_capacity_sensitivity,
+    operation_time_sensitivity,
+    swap_kind_sensitivity,
+    depth_speedup_ler,
+)
+from repro.analysis.compilers import compiler_comparison
+from repro.analysis.loops import (
+    stabilizer_connectivity_graph,
+    independent_loop_partition,
+    loop_split_cost,
+    single_vs_split_loop_table,
+)
+
+__all__ = [
+    "stabilizer_connectivity_graph",
+    "independent_loop_partition",
+    "loop_split_cost",
+    "single_vs_split_loop_table",
+    "parallel_vs_serial_speedup",
+    "speedup_table",
+    "confusion_matrix",
+    "junction_crossing_sensitivity",
+    "trap_arrangement_sensitivity",
+    "loose_capacity_sensitivity",
+    "operation_time_sensitivity",
+    "swap_kind_sensitivity",
+    "depth_speedup_ler",
+    "compiler_comparison",
+]

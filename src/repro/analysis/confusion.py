@@ -1,0 +1,46 @@
+"""Figure 6: the software x hardware confusion matrix.
+
+Software is either *static* (the gate DAG scheduled earliest-job-first)
+or *dynamic* (maximally parallel timeslices dispatched together);
+hardware is either a *grid* or a *circle*.  Only the coordinated
+dynamic-software + circular-hardware pairing (Cyclone) avoids
+roadblocks; the other three cells are progressively worse, which is the
+paper's case for codesign.
+"""
+
+from __future__ import annotations
+
+from repro.codes.css import CSSCode
+from repro.core.codesign import codesign_by_name
+from repro.core.results import ResultTable
+from repro.qccd.timing import OperationTimes
+
+__all__ = ["confusion_matrix"]
+
+
+def confusion_matrix(code: CSSCode,
+                     times: OperationTimes | None = None) -> ResultTable:
+    """Execution times for the four software/hardware pairings of Figure 6."""
+    times = times or OperationTimes()
+    cells = [
+        ("static", "grid", codesign_by_name("baseline", times=times)),
+        ("dynamic", "grid",
+         codesign_by_name("baseline_grid_dynamic", times=times)),
+        ("static", "circle", codesign_by_name("ejf_ring", times=times)),
+        ("dynamic", "circle", codesign_by_name("cyclone", times=times)),
+    ]
+    table = ResultTable(
+        title=f"Fig. 6 — software/hardware confusion matrix ({code.name})",
+        columns=["software", "hardware", "codesign", "execution_time_us",
+                 "roadblock_events"],
+    )
+    for software, hardware, codesign in cells:
+        compiled = codesign.compile(code)
+        table.add_row(
+            software=software,
+            hardware=hardware,
+            codesign=codesign.name,
+            execution_time_us=compiled.execution_time_us,
+            roadblock_events=compiled.metadata.get("roadblock_events", 0),
+        )
+    return table

@@ -1,0 +1,193 @@
+"""Independent / concurrent loop analysis (Section IV-C).
+
+Cyclone routes every ancilla around a single global loop.  The paper
+briefly considers splitting the stabilizers across several smaller
+loops executed concurrently, and concludes that for HGP and BB codes no
+useful split exists: their long-range stabilizers always share data
+qubits across any partition, so ancillas would have to traverse both
+loops, adding shuttling, space and roadblock opportunities.  Separate
+loops only make sense for local topological codes (disconnected or
+easily cut Tanner graphs).
+
+This module provides the graph analysis behind that argument:
+
+* :func:`stabilizer_connectivity_graph` — stabilizers as nodes, edges
+  between stabilizers sharing a data qubit;
+* :func:`independent_loop_partition` — the connected components, i.e.
+  the only splits that require no cross-loop traffic;
+* :func:`loop_split_cost` — a cost model for *forcing* a split into a
+  given number of loops: each shared data qubit makes some ancilla
+  traverse both loops, and the estimate charges the extra rotations;
+* :func:`single_vs_split_loop_table` — the ablation table showing the
+  single global loop is never worse for the paper's codes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.codes.css import CSSCode
+from repro.core.results import ResultTable
+from repro.qccd.compilers.cyclone import cyclone_worst_case_bound_us
+from repro.qccd.timing import OperationTimes
+
+__all__ = [
+    "stabilizer_connectivity_graph",
+    "independent_loop_partition",
+    "loop_split_cost",
+    "single_vs_split_loop_table",
+]
+
+
+def stabilizer_connectivity_graph(code: CSSCode) -> nx.Graph:
+    """Graph over stabilizers with edges between support-sharing pairs."""
+    graph = nx.Graph()
+    supports = [set(support) for _, support in code.stabilizer_supports()]
+    graph.add_nodes_from(range(len(supports)))
+    for i, support_i in enumerate(supports):
+        for j in range(i + 1, len(supports)):
+            if support_i & supports[j]:
+                graph.add_edge(i, j)
+    return graph
+
+
+def independent_loop_partition(code: CSSCode) -> list[list[int]]:
+    """Stabilizer groups that share no data qubits (connected components).
+
+    A code admits genuinely independent loops only if this returns more
+    than one group; for every HGP and BB code in the paper it returns a
+    single group.
+    """
+    graph = stabilizer_connectivity_graph(code)
+    return [sorted(component) for component in nx.connected_components(graph)]
+
+
+def _balanced_greedy_split(code: CSSCode, num_loops: int) -> list[list[int]]:
+    """Force a balanced split of stabilizers into ``num_loops`` groups.
+
+    Greedy BFS growth over the stabilizer connectivity graph; used only
+    to *evaluate* how bad a forced split would be, not as a proposal.
+    """
+    graph = stabilizer_connectivity_graph(code)
+    total = graph.number_of_nodes()
+    target = math.ceil(total / num_loops)
+    unassigned = set(graph.nodes)
+    groups: list[list[int]] = []
+    while unassigned and len(groups) < num_loops:
+        seed = min(unassigned)
+        group = [seed]
+        unassigned.discard(seed)
+        frontier = [seed]
+        while frontier and len(group) < target:
+            node = frontier.pop(0)
+            for neighbor in graph.neighbors(node):
+                if neighbor in unassigned and len(group) < target:
+                    unassigned.discard(neighbor)
+                    group.append(neighbor)
+                    frontier.append(neighbor)
+            if not frontier and unassigned and len(group) < target:
+                extra = min(unassigned)
+                unassigned.discard(extra)
+                group.append(extra)
+                frontier.append(extra)
+        groups.append(sorted(group))
+    if unassigned:
+        groups[-1].extend(sorted(unassigned))
+    return groups
+
+
+def loop_split_cost(code: CSSCode, num_loops: int,
+                    times: OperationTimes | None = None) -> dict[str, float]:
+    """Estimated worst-case execution cost of splitting Cyclone into loops.
+
+    Each loop is a base-form Cyclone ring over the data qubits its
+    stabilizers touch.  Data qubits appearing in more than one loop
+    force the affected ancillas to traverse the other loop as well; the
+    estimate charges one extra full rotation of the larger loop per
+    affected loop pair, which is the cheapest conceivable realisation of
+    the cross-traffic the paper describes.
+    """
+    times = times or OperationTimes()
+    if num_loops < 1:
+        raise ValueError("need at least one loop")
+    supports = [set(support) for _, support in code.stabilizer_supports()]
+
+    if num_loops == 1:
+        m_basis = max(code.num_x_stabilizers, code.num_z_stabilizers)
+        bound = cyclone_worst_case_bound_us(code, max(m_basis, 1), times)
+        return {
+            "num_loops": 1.0,
+            "shared_data_qubits": 0.0,
+            "estimated_time_us": bound,
+            "extra_rotations": 0.0,
+        }
+
+    groups = _balanced_greedy_split(code, num_loops)
+    data_by_group = [
+        set().union(*(supports[s] for s in group)) if group else set()
+        for group in groups
+    ]
+    loop_times = []
+    for group, data in zip(groups, data_by_group):
+        if not group:
+            continue
+        # A loop behaves like a base Cyclone over its own stabilizers/data.
+        traps = max(math.ceil(len(group) / 2), 1)
+        ancilla_per_trap = 1
+        data_per_trap = max(math.ceil(len(data) / traps), 1)
+        chain = data_per_trap + ancilla_per_trap
+        gate = times.two_qubit_gate(chain)
+        swap = times.swap(chain_length=chain)
+        shuttle = times.combined_shuttle if traps > 1 else 0.0
+        loop_times.append(
+            2 * traps * (shuttle + ancilla_per_trap *
+                         (swap + gate * data_per_trap))
+        )
+
+    shared = 0
+    for i in range(len(data_by_group)):
+        for j in range(i + 1, len(data_by_group)):
+            shared += len(data_by_group[i] & data_by_group[j])
+
+    base_time = max(loop_times) if loop_times else 0.0
+    # Every loop pair with shared data needs at least one extra traversal
+    # of the partner loop by the affected ancillas.
+    pairs_with_sharing = sum(
+        1
+        for i in range(len(data_by_group))
+        for j in range(i + 1, len(data_by_group))
+        if data_by_group[i] & data_by_group[j]
+    )
+    extra = pairs_with_sharing * base_time
+    return {
+        "num_loops": float(num_loops),
+        "shared_data_qubits": float(shared),
+        "estimated_time_us": base_time + extra,
+        "extra_rotations": float(pairs_with_sharing),
+    }
+
+
+def single_vs_split_loop_table(code: CSSCode,
+                               loop_counts=(1, 2, 4),
+                               times: OperationTimes | None = None
+                               ) -> ResultTable:
+    """Section IV-C ablation: single global loop vs forced splits."""
+    table = ResultTable(
+        title=f"Section IV-C — single vs split Cyclone loops ({code.name})",
+        columns=["num_loops", "independent_components",
+                 "shared_data_qubits", "extra_rotations",
+                 "estimated_time_us"],
+    )
+    components = len(independent_loop_partition(code))
+    for count in loop_counts:
+        cost = loop_split_cost(code, count, times)
+        table.add_row(
+            num_loops=int(cost["num_loops"]),
+            independent_components=components,
+            shared_data_qubits=cost["shared_data_qubits"],
+            extra_rotations=cost["extra_rotations"],
+            estimated_time_us=cost["estimated_time_us"],
+        )
+    return table

@@ -1,0 +1,45 @@
+"""Figure 3: speedup of maximally parallel vs fully serial schedules.
+
+The motivational case study compares, for each HGP and BB code, the
+depth of the maximally parallel syndrome-extraction schedule with the
+fully serialized one.  The speedup grows with code size, which is the
+paper's argument that architectures must support high parallelism.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.codes.css import CSSCode
+from repro.codes.library import bb_code_names, code_by_name, hgp_code_names
+from repro.codes.scheduling import parallelism_bound
+from repro.core.results import ResultTable
+
+__all__ = ["parallel_vs_serial_speedup", "speedup_table"]
+
+
+def parallel_vs_serial_speedup(code: CSSCode) -> dict[str, float]:
+    """Serial depth, parallel depth and their ratio for one code."""
+    bound = parallelism_bound(code)
+    return {
+        "code": code.name,
+        "num_qubits": float(code.num_qubits),
+        "num_stabilizers": float(code.num_stabilizers),
+        "serial_depth": bound["serial_depth"],
+        "parallel_depth": bound["parallel_depth"],
+        "speedup": bound["speedup"],
+    }
+
+
+def speedup_table(code_names: Iterable[str] | None = None) -> ResultTable:
+    """The Figure 3 bar data for the paper's code set (or a custom one)."""
+    if code_names is None:
+        code_names = list(hgp_code_names()[:3]) + list(bb_code_names())
+    table = ResultTable(
+        title="Fig. 3 — fully parallel vs fully serial schedule speedup",
+        columns=["code", "num_qubits", "num_stabilizers", "serial_depth",
+                 "parallel_depth", "speedup"],
+    )
+    for name in code_names:
+        table.add_row(**parallel_vs_serial_speedup(code_by_name(name)))
+    return table

@@ -1,0 +1,22 @@
+"""Quantum circuit intermediate representation and circuit builders.
+
+The circuits produced here are *annotated stabilizer circuits*: Clifford
+gates, resets and measurements interleaved with Pauli noise channels,
+detector definitions (parities of measurement outcomes that are
+deterministic in the absence of noise) and logical-observable
+definitions.  They are consumed by the Pauli-frame sampler and the
+detector-error-model builder in :mod:`repro.sim`.
+"""
+
+from repro.circuits.circuit import Circuit, Instruction
+from repro.circuits.builder import (
+    SyndromeCircuitBuilder,
+    memory_experiment_circuit,
+)
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "SyndromeCircuitBuilder",
+    "memory_experiment_circuit",
+]

@@ -1,0 +1,235 @@
+"""Syndrome-extraction and memory-experiment circuit construction.
+
+Builds the noisy stabilizer circuits sampled in the paper's memory
+experiments: ``rounds`` rounds of syndrome extraction (laid out
+according to a :class:`~repro.codes.scheduling.StabilizerSchedule`)
+followed by a transversal data-qubit readout, with detectors comparing
+consecutive stabilizer measurements and logical observables read off
+the final data measurements.
+
+Noise placement follows Section II-C: depolarizing noise after two-qubit
+gates, state-preparation and measurement flip errors, and a per-round
+Pauli-twirled idle channel on every data qubit whose strength comes from
+the compiled round latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.codes.css import CSSCode
+from repro.codes.scheduling import StabilizerSchedule, x_then_z_schedule
+from repro.noise.hardware import HardwareNoiseModel
+
+__all__ = ["SyndromeCircuitBuilder", "memory_experiment_circuit"]
+
+
+@dataclass
+class SyndromeCircuitBuilder:
+    """Configurable builder for memory-experiment circuits.
+
+    Parameters
+    ----------
+    code:
+        The CSS code to protect.
+    noise:
+        Hardware-aware noise model (base circuit noise + round latency).
+    schedule:
+        Gate schedule; defaults to the non-edge-colorable X-then-Z
+        schedule used by Cyclone.
+    rounds:
+        Number of syndrome extraction rounds; defaults to the code
+        distance (or 3 when the distance is unknown).
+    basis:
+        ``"Z"`` (default) protects logical Z observables against X
+        errors; ``"X"`` the converse.
+    """
+
+    code: CSSCode
+    noise: HardwareNoiseModel
+    schedule: StabilizerSchedule | None = None
+    rounds: int | None = None
+    basis: str = "Z"
+
+    def __post_init__(self) -> None:
+        if self.basis not in ("Z", "X"):
+            raise ValueError("basis must be 'Z' or 'X'")
+        if self.schedule is None:
+            self.schedule = x_then_z_schedule(self.code)
+        if self.schedule.code is not self.code:
+            # Allow equal-but-distinct code objects; just sanity check size.
+            if self.schedule.code.num_qubits != self.code.num_qubits:
+                raise ValueError("schedule belongs to a different code")
+        if self.rounds is None:
+            self.rounds = self.code.distance or 3
+        if self.rounds < 1:
+            raise ValueError("need at least one round")
+
+    # ------------------------------------------------------------------
+    # Qubit layout
+    # ------------------------------------------------------------------
+    @property
+    def num_data(self) -> int:
+        return self.code.num_qubits
+
+    def ancilla_index(self, stabilizer: int) -> int:
+        """Physical qubit index of the ancilla for a global stabilizer index."""
+        return self.num_data + stabilizer
+
+    # ------------------------------------------------------------------
+    def build(self) -> Circuit:
+        """Construct the full noisy memory-experiment circuit."""
+        code = self.code
+        noise = self.noise
+        base = noise.base
+        circuit = Circuit()
+
+        num_x = code.num_x_stabilizers
+        num_z = code.num_z_stabilizers
+        data_qubits = list(range(self.num_data))
+        x_ancillas = [self.ancilla_index(i) for i in range(num_x)]
+        z_ancillas = [self.ancilla_index(num_x + j) for j in range(num_z)]
+
+        idle = noise.idle_channel
+
+        # --- Data preparation -------------------------------------------------
+        if self.basis == "Z":
+            circuit.append("R", data_qubits)
+            if base.p_prep > 0:
+                circuit.append("X_ERROR", data_qubits, base.p_prep)
+        else:
+            circuit.append("RX", data_qubits)
+            if base.p_prep > 0:
+                circuit.append("Z_ERROR", data_qubits, base.p_prep)
+        circuit.tick()
+
+        # Measurement record indices of the previous round, per stabilizer.
+        previous_round: dict[int, int] = {}
+
+        for round_index in range(self.rounds):
+            previous_round = self._append_round(
+                circuit, round_index, data_qubits, x_ancillas, z_ancillas,
+                previous_round, idle,
+            )
+
+        # --- Final transversal data readout -----------------------------------
+        final_records = circuit.measure(
+            data_qubits, basis=self.basis, flip_probability=base.p_meas
+        )
+        self._append_final_detectors(circuit, final_records, previous_round)
+        self._append_observables(circuit, final_records)
+        return circuit
+
+    # ------------------------------------------------------------------
+    def _append_round(self, circuit: Circuit, round_index: int,
+                      data_qubits, x_ancillas, z_ancillas,
+                      previous_round: dict[int, int],
+                      idle: tuple[float, float, float]) -> dict[int, int]:
+        code = self.code
+        base = self.noise.base
+        num_x = code.num_x_stabilizers
+
+        # Idle decoherence on data qubits, once per round, from latency.
+        if any(p > 0 for p in idle):
+            circuit.append("PAULI_CHANNEL_1", data_qubits, arguments=idle)
+
+        # Ancilla preparation.
+        if x_ancillas:
+            circuit.append("RX", x_ancillas)
+            if base.p_prep > 0:
+                circuit.append("Z_ERROR", x_ancillas, base.p_prep)
+        if z_ancillas:
+            circuit.append("R", z_ancillas)
+            if base.p_prep > 0:
+                circuit.append("X_ERROR", z_ancillas, base.p_prep)
+        circuit.tick()
+
+        # Entangling layers from the schedule.
+        for timeslice in self.schedule.timeslices:
+            cx_targets: list[int] = []
+            for gate in timeslice:
+                ancilla = self.ancilla_index(gate.stabilizer)
+                if gate.basis == "X":
+                    cx_targets.extend((ancilla, gate.data))
+                else:
+                    cx_targets.extend((gate.data, ancilla))
+            if not cx_targets:
+                continue
+            circuit.append("CX", cx_targets)
+            if base.p2 > 0:
+                circuit.append("DEPOLARIZE2", cx_targets, base.p2)
+            circuit.tick()
+
+        # Ancilla measurement.
+        new_records: dict[int, int] = {}
+        if x_ancillas:
+            records = circuit.measure(
+                x_ancillas, basis="X", flip_probability=base.p_meas
+            )
+            for i, record in enumerate(records):
+                new_records[i] = record
+        if z_ancillas:
+            records = circuit.measure(
+                z_ancillas, basis="Z", flip_probability=base.p_meas
+            )
+            for j, record in enumerate(records):
+                new_records[num_x + j] = record
+
+        # Detectors: compare with the previous round; in the first round
+        # only the stabilizers matching the preparation basis are
+        # deterministic on their own.
+        deterministic_first = "Z" if self.basis == "Z" else "X"
+        for stabilizer, record in new_records.items():
+            basis = "X" if stabilizer < num_x else "Z"
+            if round_index == 0:
+                if basis == deterministic_first:
+                    circuit.detector([record])
+            else:
+                circuit.detector([previous_round[stabilizer], record])
+        circuit.tick()
+        return new_records
+
+    # ------------------------------------------------------------------
+    def _append_final_detectors(self, circuit: Circuit, final_records,
+                                previous_round: dict[int, int]) -> None:
+        """Compare the last ancilla round against stabilizers recomputed
+        from the transversal data readout."""
+        code = self.code
+        num_x = code.num_x_stabilizers
+        if self.basis == "Z":
+            # Data measured in Z basis: Z stabilizers are recomputable.
+            for j in range(code.num_z_stabilizers):
+                support = code.z_stabilizer_support(j)
+                targets = [final_records[q] for q in support]
+                stabilizer = num_x + j
+                if stabilizer in previous_round:
+                    targets.append(previous_round[stabilizer])
+                circuit.detector(targets)
+        else:
+            for i in range(num_x):
+                support = code.x_stabilizer_support(i)
+                targets = [final_records[q] for q in support]
+                if i in previous_round:
+                    targets.append(previous_round[i])
+                circuit.detector(targets)
+
+    def _append_observables(self, circuit: Circuit, final_records) -> None:
+        code = self.code
+        logicals = code.logical_z if self.basis == "Z" else code.logical_x
+        for observable_index, row in enumerate(logicals):
+            support = [q for q in range(code.num_qubits) if row[q]]
+            circuit.observable_include(
+                [final_records[q] for q in support], observable_index
+            )
+
+
+def memory_experiment_circuit(code: CSSCode, noise: HardwareNoiseModel,
+                              schedule: StabilizerSchedule | None = None,
+                              rounds: int | None = None,
+                              basis: str = "Z") -> Circuit:
+    """Convenience wrapper around :class:`SyndromeCircuitBuilder`."""
+    builder = SyndromeCircuitBuilder(
+        code=code, noise=noise, schedule=schedule, rounds=rounds, basis=basis
+    )
+    return builder.build()

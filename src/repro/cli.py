@@ -1,0 +1,164 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+Subcommands mirror the library's main entry points:
+
+``codes``
+    List the built-in code instances and their parameters.
+``compile``
+    Compile one round of syndrome extraction for a code onto one or more
+    codesigns and report latency, spatial cost and parallelization.
+``memory``
+    Run a hardware-aware memory experiment (codesign latency -> noise ->
+    BP+OSD decoding -> logical error rate) over a physical-error sweep.
+``speedup``
+    Print the Figure 3 parallel-vs-serial speedup table.
+
+Examples
+--------
+::
+
+    python -m repro codes
+    python -m repro compile "BB [[72,12,6]]" --codesigns baseline cyclone
+    python -m repro memory "HGP [[225,9,6]]" --codesign cyclone \
+        --physical-error-rates 1e-4 3e-4 1e-3 --shots 200 --output ler.csv
+    python -m repro speedup
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis import speedup_table
+from repro.codes import available_codes, code_by_name
+from repro.core import (
+    available_codesigns,
+    codesign_by_name,
+    sweep_architectures,
+    sweep_physical_error,
+)
+from repro.core.results import ResultTable
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cyclone QCCD codesign reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("codes", help="list built-in codes")
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile a code onto one or more codesigns"
+    )
+    compile_parser.add_argument("code", help="code name, e.g. 'BB [[72,12,6]]'")
+    compile_parser.add_argument(
+        "--codesigns", nargs="+", default=["baseline", "cyclone"],
+        help="codesign names (default: baseline cyclone)",
+    )
+    compile_parser.add_argument("--output", default=None,
+                                help="optional .csv/.json/.txt output path")
+
+    memory_parser = subparsers.add_parser(
+        "memory", help="run a hardware-aware memory experiment"
+    )
+    memory_parser.add_argument("code")
+    memory_parser.add_argument("--codesign", default="cyclone")
+    memory_parser.add_argument(
+        "--physical-error-rates", type=float, nargs="+",
+        default=[1e-4, 3e-4, 1e-3],
+    )
+    memory_parser.add_argument("--shots", type=int, default=200)
+    memory_parser.add_argument("--rounds", type=int, default=None)
+    memory_parser.add_argument("--seed", type=int, default=0)
+    memory_parser.add_argument("--output", default=None)
+
+    speedup_parser = subparsers.add_parser(
+        "speedup", help="parallel vs serial schedule speedups (Figure 3)"
+    )
+    speedup_parser.add_argument("--codes", nargs="+", default=None)
+    speedup_parser.add_argument("--output", default=None)
+
+    return parser
+
+
+def _emit(table: ResultTable, output: str | None) -> None:
+    print(table.to_text())
+    if output:
+        path = table.save(output)
+        print(f"\nSaved to {path}")
+
+
+def _cmd_codes() -> int:
+    table = ResultTable(
+        title="Built-in codes",
+        columns=["name", "n", "k", "d", "stabilizers", "edge_colorable"],
+    )
+    for name in available_codes():
+        code = code_by_name(name)
+        n, k, d = code.parameters
+        table.add_row(name=name, n=n, k=k, d=d if d is not None else "?",
+                      stabilizers=code.num_stabilizers,
+                      edge_colorable=code.edge_colorable)
+    print(table.to_text())
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    code = code_by_name(args.code)
+    unknown = [name for name in args.codesigns
+               if name not in available_codesigns()]
+    if unknown:
+        print(f"unknown codesigns: {unknown}; available: "
+              f"{available_codesigns()}", file=sys.stderr)
+        return 2
+    designs = [codesign_by_name(name) for name in args.codesigns]
+    table = sweep_architectures(code, designs)
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_memory(args: argparse.Namespace) -> int:
+    code = code_by_name(args.code)
+    compiled = codesign_by_name(args.codesign).compile(code)
+    table = sweep_physical_error(
+        code,
+        round_latency_us=compiled.execution_time_us,
+        physical_error_rates=args.physical_error_rates,
+        shots=args.shots,
+        rounds=args.rounds,
+        label=f"{args.codesign}, {compiled.execution_time_us:.0f} us/round",
+        seed=args.seed,
+    )
+    _emit(table, args.output)
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    table = speedup_table(args.codes)
+    _emit(table, args.output)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "codes":
+        return _cmd_codes()
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "memory":
+        return _cmd_memory(args)
+    if args.command == "speedup":
+        return _cmd_speedup(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Quantum error-correcting codes studied in the Cyclone paper.
+
+The paper evaluates two families of non-topological CSS codes —
+hypergraph product (HGP) codes and bivariate bicycle (BB) codes — and
+contrasts them against topological codes (surface code) for which grid
+QCCD architectures are already sufficient.  This package implements:
+
+* :class:`~repro.codes.css.CSSCode` — the common representation used by
+  schedulers, circuit builders, compilers and decoders,
+* classical LDPC code constructions used as HGP factors,
+* the hypergraph product construction,
+* the bivariate bicycle construction (exact codes from Bravyi et al.),
+* reference topological codes (repetition, surface),
+* stabilizer measurement *schedules* (serial, X-then-Z parallel,
+  interleaved edge-colorable), and
+* a :mod:`~repro.codes.library` of the named codes used throughout the
+  paper's evaluation.
+"""
+
+from repro.codes.css import CSSCode
+from repro.codes.classical import (
+    ClassicalCode,
+    repetition_code,
+    hamming_code,
+    regular_ldpc_code,
+)
+from repro.codes.hgp import hypergraph_product
+from repro.codes.bb import bivariate_bicycle_code, BBCodeSpec
+from repro.codes.surface import surface_code, repetition_quantum_code
+from repro.codes.scheduling import (
+    StabilizerSchedule,
+    serial_schedule,
+    x_then_z_schedule,
+    interleaved_schedule,
+    schedule_for,
+    parallelism_bound,
+)
+from repro.codes.library import (
+    code_by_name,
+    available_codes,
+    hgp_code_names,
+    bb_code_names,
+)
+
+__all__ = [
+    "CSSCode",
+    "ClassicalCode",
+    "repetition_code",
+    "hamming_code",
+    "regular_ldpc_code",
+    "hypergraph_product",
+    "bivariate_bicycle_code",
+    "BBCodeSpec",
+    "surface_code",
+    "repetition_quantum_code",
+    "StabilizerSchedule",
+    "serial_schedule",
+    "x_then_z_schedule",
+    "interleaved_schedule",
+    "schedule_for",
+    "parallelism_bound",
+    "code_by_name",
+    "available_codes",
+    "hgp_code_names",
+    "bb_code_names",
+]

@@ -1,0 +1,90 @@
+"""Topological reference codes: repetition and (rotated) surface codes.
+
+The paper argues that grid QCCD architectures are already adequate for
+topological codes; these constructions exist as reference points (and as
+small, well-understood codes for unit testing the simulator, decoders
+and compilers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.css import CSSCode
+
+__all__ = ["repetition_quantum_code", "surface_code"]
+
+
+def repetition_quantum_code(distance: int) -> CSSCode:
+    """The distance-d quantum repetition (bit-flip) code.
+
+    Only Z stabilizers are present, so it protects against X errors
+    only.  Useful as the smallest nontrivial test code.
+    """
+    if distance < 2:
+        raise ValueError("repetition code needs distance >= 2")
+    hz = np.zeros((distance - 1, distance), dtype=np.uint8)
+    for i in range(distance - 1):
+        hz[i, i] = 1
+        hz[i, i + 1] = 1
+    hx = np.zeros((0, distance), dtype=np.uint8)
+    return CSSCode(
+        hx=hx, hz=hz, name=f"repetition-d{distance}", distance=distance,
+        edge_colorable=True,
+        metadata={"family": "repetition"},
+    )
+
+
+def surface_code(distance: int) -> CSSCode:
+    """The rotated surface code of odd distance ``d`` ([[d^2, 1, d]]).
+
+    Uses the standard rotated layout: data qubits on a d x d grid,
+    bulk plaquettes in a checkerboard pattern plus weight-2 boundary
+    checks.
+    """
+    if distance < 2 or distance % 2 == 0:
+        raise ValueError("rotated surface code needs odd distance >= 3")
+    d = distance
+    n = d * d
+
+    def qubit(row: int, col: int) -> int:
+        return row * d + col
+
+    x_stabilizers: list[list[int]] = []
+    z_stabilizers: list[list[int]] = []
+
+    # Bulk plaquettes sit on a (d+1) x (d+1) grid of vertices between
+    # data qubits; each vertex (r, c) with 0 <= r, c <= d touches the up
+    # to four data qubits at (r-1, c-1), (r-1, c), (r, c-1), (r, c).
+    for r in range(d + 1):
+        for c in range(d + 1):
+            support = [
+                qubit(rr, cc)
+                for rr, cc in ((r - 1, c - 1), (r - 1, c), (r, c - 1), (r, c))
+                if 0 <= rr < d and 0 <= cc < d
+            ]
+            if len(support) < 2:
+                continue
+            is_x = (r + c) % 2 == 0
+            if len(support) == 4:
+                (x_stabilizers if is_x else z_stabilizers).append(support)
+            else:
+                # Boundary (weight-2) checks: X checks live on the top and
+                # bottom boundaries, Z checks on the left and right.
+                on_top_or_bottom = r == 0 or r == d
+                if is_x and on_top_or_bottom:
+                    x_stabilizers.append(support)
+                elif not is_x and not on_top_or_bottom:
+                    z_stabilizers.append(support)
+
+    hx = np.zeros((len(x_stabilizers), n), dtype=np.uint8)
+    for idx, support in enumerate(x_stabilizers):
+        hx[idx, support] = 1
+    hz = np.zeros((len(z_stabilizers), n), dtype=np.uint8)
+    for idx, support in enumerate(z_stabilizers):
+        hz[idx, support] = 1
+
+    return CSSCode(
+        hx=hx, hz=hz, name=f"surface-d{d}", distance=d, edge_colorable=True,
+        metadata={"family": "surface", "distance": d},
+    )

@@ -1,0 +1,39 @@
+"""The paper's experimental pipeline: codesigns and memory experiments.
+
+``repro.core`` glues the substrates together the same way the paper's
+evaluation does:
+
+1. a :class:`~repro.core.codesign.Codesign` pairs a hardware topology
+   with a compiler policy and produces an execution latency and spatial
+   cost for a code;
+2. :class:`~repro.core.memory.MemoryExperiment` turns that latency into
+   a hardware-aware noise model, samples syndrome-extraction rounds and
+   decodes them, yielding a logical error rate;
+3. :mod:`~repro.core.spacetime` combines the two into the spacetime
+   cost metric of Figure 16, and :mod:`~repro.core.sweep` provides the
+   parameter sweeps behind the evaluation figures.
+"""
+
+from repro.core.codesign import Codesign, codesign_by_name, available_codesigns
+from repro.core.memory import (
+    MemoryExperiment,
+    MemoryResult,
+    logical_error_rate,
+)
+from repro.core.spacetime import spacetime_cost, spacetime_comparison
+from repro.core.sweep import sweep_physical_error, sweep_architectures
+from repro.core.results import ResultTable
+
+__all__ = [
+    "Codesign",
+    "codesign_by_name",
+    "available_codesigns",
+    "MemoryExperiment",
+    "MemoryResult",
+    "logical_error_rate",
+    "spacetime_cost",
+    "spacetime_comparison",
+    "sweep_physical_error",
+    "sweep_architectures",
+    "ResultTable",
+]

@@ -1,0 +1,171 @@
+"""Phenomenological space-time decoding model.
+
+For the larger codes in the paper's evaluation, sampling and decoding
+the full circuit-level detector error model is prohibitively slow in a
+pure-Python Monte-Carlo loop.  The standard fast alternative — used
+throughout the qLDPC memory literature — is the *phenomenological*
+model: in every round each data qubit suffers an independent X (or Z)
+flip with an effective probability and each stabilizer measurement is
+flipped with an effective probability, with a final noiseless data
+readout.  The effective probabilities are derived from the circuit-level
+noise (gate, preparation, measurement errors) plus the latency-induced
+idle channel, so the latency → logical-error coupling that the paper's
+architecture comparison relies on is preserved.
+
+The model produces the space-time check matrix decoded with BP+OSD:
+
+* detector layer ``r`` (0-based) compares stabilizer outcomes of rounds
+  ``r-1`` and ``r``; layer ``R`` compares the last ancilla round against
+  the stabilizers recomputed from the final data readout;
+* a data error in round ``r`` flips its stabilizers' detectors in layer
+  ``r`` only (difference syndromes) and flips any logical observable it
+  overlaps;
+* a measurement error in round ``r`` flips layers ``r`` and ``r+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codes.css import CSSCode
+from repro.noise.hardware import HardwareNoiseModel
+
+__all__ = [
+    "PhenomenologicalModel",
+    "effective_error_rates",
+    "build_phenomenological_model",
+]
+
+#: Fraction of two-qubit depolarizing outcomes that leave an X or Y on a
+#: given one of the two qubits (8 of the 15 non-identity Paulis).
+TWO_QUBIT_MARGINAL = 8.0 / 15.0
+
+
+@dataclass
+class PhenomenologicalModel:
+    """Space-time check matrix, observables, priors and a sampler."""
+
+    code: CSSCode
+    basis: str
+    rounds: int
+    data_error_rate: float
+    measurement_error_rate: float
+    check_matrix: np.ndarray
+    observable_matrix: np.ndarray
+    priors: np.ndarray
+
+    @property
+    def num_detectors(self) -> int:
+        return int(self.check_matrix.shape[0])
+
+    @property
+    def num_mechanisms(self) -> int:
+        return int(self.check_matrix.shape[1])
+
+    # ------------------------------------------------------------------
+    def sample(self, shots: int, seed: int | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample (syndromes, observable_flips) for ``shots`` experiments."""
+        rng = np.random.default_rng(seed)
+        errors = rng.random((shots, self.num_mechanisms)) < self.priors
+        syndromes = (errors @ self.check_matrix.T) % 2
+        observables = (errors @ self.observable_matrix.T) % 2
+        return syndromes.astype(np.uint8), observables.astype(np.uint8)
+
+
+def effective_error_rates(code: CSSCode, noise: HardwareNoiseModel,
+                          basis: str = "Z") -> tuple[float, float]:
+    """Per-round effective data and measurement error probabilities.
+
+    The data-qubit rate combines the latency-induced idle channel with
+    the marginal error deposited by each two-qubit gate the qubit
+    participates in during a round; the measurement rate combines the
+    raw measurement flip probability, ancilla preparation errors and the
+    ancilla's accumulated gate error over the stabilizer weight.
+    """
+    if basis not in ("Z", "X"):
+        raise ValueError("basis must be 'Z' or 'X'")
+    base = noise.base
+    px, py, pz = noise.idle_channel
+    if basis == "Z":
+        # Z-basis memory is corrupted by X-type errors.
+        idle = px + py
+        relevant_weight = code.max_z_weight
+        degree = code.hz.sum(axis=0).mean() if code.num_z_stabilizers else 0.0
+        cross_degree = code.hx.sum(axis=0).mean() if code.num_x_stabilizers else 0.0
+    else:
+        idle = pz + py
+        relevant_weight = code.max_x_weight
+        degree = code.hx.sum(axis=0).mean() if code.num_x_stabilizers else 0.0
+        cross_degree = code.hz.sum(axis=0).mean() if code.num_z_stabilizers else 0.0
+
+    gates_per_data_per_round = float(degree + cross_degree)
+    data_rate = (
+        idle
+        + base.p_prep
+        + gates_per_data_per_round * base.p2 * TWO_QUBIT_MARGINAL
+    )
+    measurement_rate = (
+        base.p_meas
+        + base.p_prep
+        + relevant_weight * base.p2 * TWO_QUBIT_MARGINAL
+    )
+    return (min(data_rate, 0.5), min(measurement_rate, 0.5))
+
+
+def build_phenomenological_model(code: CSSCode, noise: HardwareNoiseModel,
+                                 rounds: int, basis: str = "Z"
+                                 ) -> PhenomenologicalModel:
+    """Construct the space-time decoding model for a memory experiment."""
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    data_rate, measurement_rate = effective_error_rates(code, noise, basis)
+
+    if basis == "Z":
+        checks = code.hz
+        logicals = code.logical_z
+    else:
+        checks = code.hx
+        logicals = code.logical_x
+    num_checks = checks.shape[0]
+    n = code.num_qubits
+    num_layers = rounds + 1  # round-to-round differences + final readout layer
+    num_detectors = num_layers * num_checks
+    num_data_mechanisms = rounds * n
+    num_meas_mechanisms = rounds * num_checks
+    num_mechanisms = num_data_mechanisms + num_meas_mechanisms
+
+    check_matrix = np.zeros((num_detectors, num_mechanisms), dtype=np.uint8)
+    observable_matrix = np.zeros((logicals.shape[0], num_mechanisms),
+                                 dtype=np.uint8)
+    priors = np.zeros(num_mechanisms, dtype=float)
+
+    # Data error mechanisms: qubit q failing before round r.
+    for r in range(rounds):
+        col_base = r * n
+        row_base = r * num_checks
+        check_matrix[row_base:row_base + num_checks,
+                     col_base:col_base + n] = checks
+        observable_matrix[:, col_base:col_base + n] = logicals
+        priors[col_base:col_base + n] = data_rate
+
+    # Measurement error mechanisms: check j misread in round r.
+    for r in range(rounds):
+        col_base = num_data_mechanisms + r * num_checks
+        for j in range(num_checks):
+            check_matrix[r * num_checks + j, col_base + j] ^= 1
+            check_matrix[(r + 1) * num_checks + j, col_base + j] ^= 1
+        priors[col_base:col_base + num_checks] = measurement_rate
+
+    return PhenomenologicalModel(
+        code=code,
+        basis=basis,
+        rounds=rounds,
+        data_error_rate=data_rate,
+        measurement_error_rate=measurement_rate,
+        check_matrix=check_matrix,
+        observable_matrix=observable_matrix,
+        priors=priors,
+    )

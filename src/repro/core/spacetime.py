@@ -1,0 +1,69 @@
+"""Spacetime cost: the combined spatial/temporal efficiency metric.
+
+Figure 16 compares architectures by the product
+
+    spacetime = number of traps x execution time x number of ancilla qubits
+
+which rewards designs that are simultaneously fast and frugal.  Cyclone
+wins on all three factors (half the traps, half the ancillas, a few
+times faster), which compounds into the paper's ~20x headline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.qccd.schedule import CompiledSchedule
+
+__all__ = ["SpacetimeCost", "spacetime_cost", "spacetime_comparison"]
+
+
+@dataclass(frozen=True)
+class SpacetimeCost:
+    """The spacetime cost of one compiled schedule."""
+
+    architecture: str
+    code_name: str
+    num_traps: int
+    num_ancilla: int
+    execution_time_us: float
+
+    @property
+    def cost(self) -> float:
+        return self.num_traps * self.num_ancilla * self.execution_time_us
+
+    def relative_to(self, other: "SpacetimeCost") -> float:
+        """How many times cheaper ``other`` is than this cost."""
+        if other.cost == 0:
+            return float("inf")
+        return self.cost / other.cost
+
+
+def spacetime_cost(compiled: CompiledSchedule) -> SpacetimeCost:
+    """Extract the spacetime cost from a compiled schedule."""
+    metadata = compiled.metadata
+    return SpacetimeCost(
+        architecture=compiled.architecture,
+        code_name=compiled.code_name,
+        num_traps=int(metadata.get("num_traps", 0)),
+        num_ancilla=int(metadata.get("num_ancilla", 0)),
+        execution_time_us=compiled.execution_time_us,
+    )
+
+
+def spacetime_comparison(baseline: CompiledSchedule,
+                         candidate: CompiledSchedule) -> dict[str, float]:
+    """Figure 16 style comparison of two compiled schedules."""
+    base = spacetime_cost(baseline)
+    cand = spacetime_cost(candidate)
+    return {
+        "baseline_cost": base.cost,
+        "candidate_cost": cand.cost,
+        "improvement_factor": base.relative_to(cand),
+        "trap_ratio": (base.num_traps / cand.num_traps
+                       if cand.num_traps else float("inf")),
+        "ancilla_ratio": (base.num_ancilla / cand.num_ancilla
+                          if cand.num_ancilla else float("inf")),
+        "time_ratio": (base.execution_time_us / cand.execution_time_us
+                       if cand.execution_time_us else float("inf")),
+    }

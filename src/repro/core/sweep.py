@@ -1,0 +1,85 @@
+"""Parameter sweeps behind the evaluation figures.
+
+Two sweeps recur throughout the paper: the physical-error-rate sweep of
+a fixed codesign (the LER curves of Figures 5, 14, 15, 17, 18) and the
+architecture sweep at a fixed operating point (Figures 6, 13, 16, 19,
+20).  Both return :class:`~repro.core.results.ResultTable` rows so the
+benchmarks can print exactly the series the paper plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.codes.css import CSSCode
+from repro.core.codesign import Codesign
+from repro.core.memory import MemoryExperiment
+from repro.core.results import ResultTable
+from repro.core.spacetime import spacetime_cost
+
+__all__ = ["sweep_physical_error", "sweep_architectures"]
+
+
+def sweep_physical_error(code: CSSCode, round_latency_us: float,
+                         physical_error_rates: Iterable[float],
+                         shots: int = 200, rounds: int | None = None,
+                         method: str = "phenomenological",
+                         label: str = "", seed: int = 0) -> ResultTable:
+    """Logical error rate vs physical error rate at a fixed latency."""
+    table = ResultTable(
+        title=f"LER sweep: {code.name} ({label or 'latency ' + str(round_latency_us) + ' us'})",
+        columns=["p", "round_latency_us", "shots", "failures",
+                 "logical_error_rate", "ler_per_round"],
+    )
+    experiment = MemoryExperiment(code=code, rounds=rounds, method=method,
+                                  seed=seed)
+    for p in physical_error_rates:
+        result = experiment.run(p, round_latency_us, shots=shots)
+        table.add_row(
+            p=p,
+            round_latency_us=round_latency_us,
+            shots=result.shots,
+            failures=result.failures,
+            logical_error_rate=result.logical_error_rate,
+            ler_per_round=result.logical_error_rate_per_round,
+        )
+    return table
+
+
+def sweep_architectures(code: CSSCode, codesigns: Sequence[Codesign],
+                        physical_error_rate: float | None = None,
+                        shots: int = 200, rounds: int | None = None,
+                        method: str = "phenomenological",
+                        seed: int = 0) -> ResultTable:
+    """Compare codesigns on one code: latency, spatial cost and (optionally) LER."""
+    columns = ["codesign", "execution_time_us", "num_traps", "num_junctions",
+               "num_ancilla", "dac_count", "spacetime_cost",
+               "parallelization"]
+    if physical_error_rate is not None:
+        columns += ["p", "logical_error_rate"]
+    table = ResultTable(
+        title=f"Architecture sweep: {code.name}", columns=columns,
+    )
+    for codesign in codesigns:
+        compiled = codesign.compile(code)
+        cost = spacetime_cost(compiled)
+        row = {
+            "codesign": codesign.name,
+            "execution_time_us": compiled.execution_time_us,
+            "num_traps": compiled.metadata.get("num_traps", 0),
+            "num_junctions": compiled.metadata.get("num_junctions", 0),
+            "num_ancilla": compiled.metadata.get("num_ancilla", 0),
+            "dac_count": compiled.metadata.get("dac_count", 0),
+            "spacetime_cost": cost.cost,
+            "parallelization": compiled.parallelization_fraction,
+        }
+        if physical_error_rate is not None:
+            experiment = MemoryExperiment(code=code, rounds=rounds,
+                                          method=method, seed=seed)
+            result = experiment.run(
+                physical_error_rate, compiled.execution_time_us, shots=shots
+            )
+            row["p"] = physical_error_rate
+            row["logical_error_rate"] = result.logical_error_rate
+        table.add_row(**row)
+    return table

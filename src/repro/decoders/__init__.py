@@ -1,0 +1,26 @@
+"""Decoders for CSS codes and detector error models.
+
+The paper decodes bivariate bicycle codes with the BP+OSD decoder of
+Bravyi et al. and hypergraph product codes with the QuITS decoder —
+both are belief-propagation decoders with ordered-statistics
+post-processing.  This package provides:
+
+* :class:`~repro.decoders.bp.BeliefPropagationDecoder` — vectorized
+  min-sum BP over a binary check matrix with per-mechanism priors.
+* :class:`~repro.decoders.bposd.BPOSDDecoder` — BP with OSD-0 /
+  exhaustive OSD-E post-processing for shots where BP does not converge.
+* :class:`~repro.decoders.lookup.LookupDecoder` — exact maximum
+  likelihood decoding by exhaustive enumeration, for tiny models only
+  (used to validate the other decoders in tests).
+"""
+
+from repro.decoders.bp import BeliefPropagationDecoder, BPResult
+from repro.decoders.bposd import BPOSDDecoder
+from repro.decoders.lookup import LookupDecoder
+
+__all__ = [
+    "BeliefPropagationDecoder",
+    "BPResult",
+    "BPOSDDecoder",
+    "LookupDecoder",
+]

@@ -1,0 +1,85 @@
+"""Bit-packed GF(2) elimination used by the OSD post-processor.
+
+OSD re-solves the syndrome equation with columns ordered by BP soft
+reliability for every shot whose BP decode did not converge.  Packing
+rows into bytes keeps each elimination fast enough to run inside a
+Monte-Carlo loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PackedGF2Matrix"]
+
+
+class PackedGF2Matrix:
+    """A dense GF(2) matrix packed along rows (8 columns per byte)."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError("expected a 2-D matrix")
+        self.num_rows, self.num_cols = matrix.shape
+        self._packed = np.packbits(matrix, axis=1)
+
+    def column_bit(self, rows: np.ndarray, column: int) -> np.ndarray:
+        """Bit values of ``column`` for the given row indices."""
+        byte_index = column // 8
+        shift = 7 - (column % 8)
+        return (self._packed[rows, byte_index] >> shift) & 1
+
+    def gauss_jordan_solve(self, column_order: np.ndarray,
+                           syndrome: np.ndarray) -> np.ndarray:
+        """Solve ``M x = syndrome`` preferring early columns as pivots.
+
+        Performs Gauss-Jordan elimination visiting columns in
+        ``column_order``; pivot columns take the reduced syndrome value
+        and all other columns are set to zero (the OSD-0 solution).
+        Returns the solution in the *original* column indexing.
+        Raises ``ValueError`` when the system is inconsistent.
+        """
+        packed = self._packed.copy()
+        syndrome = np.asarray(syndrome, dtype=np.uint8).copy()
+        if syndrome.shape[0] != self.num_rows:
+            raise ValueError("syndrome length does not match row count")
+
+        pivot_rows: list[int] = []
+        pivot_cols: list[int] = []
+        next_pivot_row = 0
+        row_indices = np.arange(self.num_rows)
+
+        for column in column_order:
+            if next_pivot_row >= self.num_rows:
+                break
+            byte_index = column // 8
+            shift = 7 - (column % 8)
+            column_bits = (packed[:, byte_index] >> shift) & 1
+            candidates = np.nonzero(column_bits[next_pivot_row:])[0]
+            if candidates.size == 0:
+                continue
+            pivot = next_pivot_row + int(candidates[0])
+            if pivot != next_pivot_row:
+                packed[[next_pivot_row, pivot]] = packed[[pivot, next_pivot_row]]
+                syndrome[[next_pivot_row, pivot]] = (
+                    syndrome[[pivot, next_pivot_row]]
+                )
+            column_bits = (packed[:, byte_index] >> shift) & 1
+            eliminate = row_indices[
+                (column_bits == 1) & (row_indices != next_pivot_row)
+            ]
+            if eliminate.size:
+                packed[eliminate] ^= packed[next_pivot_row]
+                syndrome[eliminate] ^= syndrome[next_pivot_row]
+            pivot_rows.append(next_pivot_row)
+            pivot_cols.append(int(column))
+            next_pivot_row += 1
+
+        # Remaining rows must have zero syndrome for consistency.
+        if next_pivot_row < self.num_rows and syndrome[next_pivot_row:].any():
+            raise ValueError("inconsistent linear system over GF(2)")
+
+        solution = np.zeros(self.num_cols, dtype=np.uint8)
+        for row, column in zip(pivot_rows, pivot_cols):
+            solution[column] = syndrome[row]
+        return solution

@@ -1,0 +1,59 @@
+"""Exact maximum-likelihood decoding by exhaustive enumeration.
+
+Only usable for very small error models (at most ~20 mechanisms); exists
+to validate the BP and BP+OSD decoders in unit tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = ["LookupDecoder"]
+
+
+class LookupDecoder:
+    """Brute-force decoder over all error subsets up to ``max_weight``."""
+
+    def __init__(self, check_matrix: np.ndarray, priors: np.ndarray,
+                 max_weight: int | None = None) -> None:
+        self.check_matrix = np.asarray(check_matrix, dtype=np.uint8)
+        self.priors = np.asarray(priors, dtype=float)
+        num_mechanisms = self.check_matrix.shape[1]
+        if num_mechanisms > 22:
+            raise ValueError(
+                "LookupDecoder is for tiny models only "
+                f"({num_mechanisms} mechanisms is too many)"
+            )
+        self.max_weight = max_weight if max_weight is not None else num_mechanisms
+        self._table = self._build_table()
+
+    def _build_table(self) -> dict[bytes, np.ndarray]:
+        num_mechanisms = self.check_matrix.shape[1]
+        log_probs = np.log(np.clip(self.priors, 1e-15, 1 - 1e-15))
+        log_anti = np.log(np.clip(1 - self.priors, 1e-15, 1 - 1e-15))
+        table: dict[bytes, tuple[float, np.ndarray]] = {}
+        for weight in range(self.max_weight + 1):
+            for subset in itertools.combinations(range(num_mechanisms), weight):
+                error = np.zeros(num_mechanisms, dtype=np.uint8)
+                error[list(subset)] = 1
+                syndrome = (self.check_matrix @ error) % 2
+                key = syndrome.astype(np.uint8).tobytes()
+                likelihood = float(
+                    error @ log_probs + (1 - error) @ log_anti
+                )
+                if key not in table or likelihood > table[key][0]:
+                    table[key] = (likelihood, error)
+        return {key: value[1] for key, value in table.items()}
+
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        """Most likely error consistent with the syndrome."""
+        key = np.asarray(syndrome, dtype=np.uint8).tobytes()
+        if key not in self._table:
+            return np.zeros(self.check_matrix.shape[1], dtype=np.uint8)
+        return self._table[key].copy()
+
+    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        syndromes = np.atleast_2d(np.asarray(syndromes, dtype=np.uint8))
+        return np.array([self.decode(s) for s in syndromes], dtype=np.uint8)

@@ -1,0 +1,199 @@
+"""Dense GF(2) linear algebra on top of numpy uint8 arrays.
+
+All functions accept anything convertible to a 2-D array of 0/1 entries
+and return ``numpy.uint8`` arrays.  The implementations favour clarity
+over asymptotic cleverness: the matrices handled by this project are at
+most a few thousand columns wide, for which straightforward vectorized
+Gaussian elimination is fast enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gf2_matrix",
+    "row_echelon",
+    "row_reduce_mod2",
+    "rank",
+    "nullspace",
+    "row_space",
+    "solve",
+    "inverse",
+    "is_in_row_space",
+    "kernel_intersection_complement",
+]
+
+
+def gf2_matrix(data) -> np.ndarray:
+    """Coerce ``data`` to a 2-D uint8 matrix with entries reduced mod 2.
+
+    Raises ``ValueError`` if the input is not two-dimensional.
+    """
+    mat = np.asarray(data)
+    if mat.ndim == 1:
+        mat = mat.reshape(1, -1)
+    if mat.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {mat.shape}")
+    return (mat.astype(np.int64) % 2).astype(np.uint8)
+
+
+def row_echelon(matrix, full: bool = False):
+    """Gaussian elimination over GF(2).
+
+    Parameters
+    ----------
+    matrix:
+        Any 2-D binary array.
+    full:
+        If True, compute the *reduced* row echelon form (eliminate above
+        pivots as well as below).
+
+    Returns
+    -------
+    (echelon, rank, transform, pivot_columns)
+        ``echelon`` is the (reduced) row echelon form, ``rank`` its GF(2)
+        rank, ``transform`` the invertible matrix with
+        ``transform @ matrix == echelon`` (mod 2), and ``pivot_columns``
+        the list of pivot column indices.
+    """
+    mat = gf2_matrix(matrix).copy()
+    num_rows, num_cols = mat.shape
+    transform = np.identity(num_rows, dtype=np.uint8)
+
+    pivot_row = 0
+    pivot_cols: list[int] = []
+    for col in range(num_cols):
+        if pivot_row >= num_rows:
+            break
+        # Find a row at or below pivot_row with a 1 in this column.
+        candidates = np.nonzero(mat[pivot_row:, col])[0]
+        if candidates.size == 0:
+            continue
+        swap = pivot_row + candidates[0]
+        if swap != pivot_row:
+            mat[[pivot_row, swap]] = mat[[swap, pivot_row]]
+            transform[[pivot_row, swap]] = transform[[swap, pivot_row]]
+        if full:
+            eliminate = np.nonzero(mat[:, col])[0]
+            eliminate = eliminate[eliminate != pivot_row]
+        else:
+            below = np.nonzero(mat[pivot_row + 1:, col])[0]
+            eliminate = below + pivot_row + 1
+        if eliminate.size:
+            mat[eliminate] ^= mat[pivot_row]
+            transform[eliminate] ^= transform[pivot_row]
+        pivot_cols.append(col)
+        pivot_row += 1
+
+    return mat, pivot_row, transform, pivot_cols
+
+
+def row_reduce_mod2(matrix) -> np.ndarray:
+    """Return the reduced row echelon form of ``matrix`` over GF(2)."""
+    echelon, _, _, _ = row_echelon(matrix, full=True)
+    return echelon
+
+
+def rank(matrix) -> int:
+    """GF(2) rank of ``matrix``."""
+    _, rnk, _, _ = row_echelon(matrix)
+    return rnk
+
+
+def row_space(matrix) -> np.ndarray:
+    """A basis (as rows) for the GF(2) row space of ``matrix``."""
+    echelon, rnk, _, _ = row_echelon(matrix, full=True)
+    return echelon[:rnk]
+
+
+def nullspace(matrix) -> np.ndarray:
+    """A basis (as rows) for the GF(2) null space {x : matrix @ x = 0}.
+
+    Returns an array of shape ``(dim_nullspace, num_cols)``; the array
+    has zero rows when the matrix has full column rank.
+    """
+    mat = gf2_matrix(matrix)
+    num_cols = mat.shape[1]
+    echelon, rnk, _, pivot_cols = row_echelon(mat, full=True)
+    free_cols = [c for c in range(num_cols) if c not in set(pivot_cols)]
+    basis = np.zeros((len(free_cols), num_cols), dtype=np.uint8)
+    for row_idx, free in enumerate(free_cols):
+        basis[row_idx, free] = 1
+        # Back-substitute: pivot variable = sum of free columns in its row.
+        for pivot_idx, pivot_col in enumerate(pivot_cols):
+            if echelon[pivot_idx, free]:
+                basis[row_idx, pivot_col] = 1
+    return basis
+
+
+def is_in_row_space(vector, matrix) -> bool:
+    """Whether ``vector`` lies in the GF(2) row space of ``matrix``."""
+    mat = gf2_matrix(matrix)
+    vec = gf2_matrix(vector)
+    stacked = np.vstack([mat, vec])
+    return rank(stacked) == rank(mat)
+
+
+def solve(matrix, rhs) -> np.ndarray | None:
+    """Solve ``matrix @ x = rhs`` over GF(2).
+
+    Returns one solution vector, or ``None`` when the system is
+    inconsistent.  ``rhs`` may be a 1-D vector.
+    """
+    mat = gf2_matrix(matrix)
+    target = gf2_matrix(rhs).reshape(-1)
+    if target.shape[0] != mat.shape[0]:
+        raise ValueError(
+            f"rhs length {target.shape[0]} does not match {mat.shape[0]} rows"
+        )
+    augmented = np.hstack([mat, target.reshape(-1, 1)])
+    echelon, _, _, pivot_cols = row_echelon(augmented, full=True)
+    num_cols = mat.shape[1]
+    if num_cols in pivot_cols:
+        return None  # Pivot in the augmented column: inconsistent system.
+    solution = np.zeros(num_cols, dtype=np.uint8)
+    for pivot_idx, pivot_col in enumerate(pivot_cols):
+        solution[pivot_col] = echelon[pivot_idx, num_cols]
+    return solution
+
+
+def inverse(matrix) -> np.ndarray:
+    """Inverse of a square, invertible GF(2) matrix.
+
+    Raises ``ValueError`` when the matrix is singular or non-square.
+    """
+    mat = gf2_matrix(matrix)
+    if mat.shape[0] != mat.shape[1]:
+        raise ValueError("only square matrices can be inverted")
+    echelon, rnk, transform, _ = row_echelon(mat, full=True)
+    if rnk < mat.shape[0]:
+        raise ValueError("matrix is singular over GF(2)")
+    del echelon
+    return transform
+
+
+def kernel_intersection_complement(stabilizers, checks) -> np.ndarray:
+    """Vectors in ker(``checks``) that are independent of ``stabilizers``.
+
+    This is the standard construction of logical operators for a CSS
+    code: X-type logicals are elements of ker(Hz) that are not in the
+    row space of Hx (and symmetrically for Z-type logicals).  The rows
+    of the returned matrix, together with the rows of ``stabilizers``,
+    span ker(``checks``); the returned rows are linearly independent of
+    the stabilizer rows and of one another.
+    """
+    kernel = nullspace(checks)
+    stab = gf2_matrix(stabilizers)
+    base_rank = rank(stab)
+    chosen: list[np.ndarray] = []
+    current = stab
+    for candidate in kernel:
+        trial = np.vstack([current, candidate.reshape(1, -1)])
+        if rank(trial) > rank(current):
+            chosen.append(candidate)
+            current = trial
+    del base_rank
+    if not chosen:
+        return np.zeros((0, gf2_matrix(checks).shape[1]), dtype=np.uint8)
+    return np.array(chosen, dtype=np.uint8)

@@ -1,0 +1,25 @@
+"""Noise models for hardware-aware memory simulation.
+
+The paper combines a conventional circuit-level depolarizing model (the
+"base" model, parameterised by the physical error rate ``p``) with a
+latency-induced decoherence channel obtained from the Pauli twirling
+approximation of amplitude and phase damping.  Coherence times are tied
+to ``p`` by the paper's log fit (100 s at p = 1e-4, 10 s at p = 1e-3,
+i.e. T = 0.01 / p seconds).
+"""
+
+from repro.noise.base import BaseNoiseModel
+from repro.noise.twirling import (
+    pauli_twirl_probabilities,
+    coherence_time_from_physical_error,
+    decoherence_channel,
+)
+from repro.noise.hardware import HardwareNoiseModel
+
+__all__ = [
+    "BaseNoiseModel",
+    "pauli_twirl_probabilities",
+    "coherence_time_from_physical_error",
+    "decoherence_channel",
+    "HardwareNoiseModel",
+]

@@ -1,0 +1,75 @@
+"""The base circuit-level noise model (Section II-C-1).
+
+Every error source is an independent stochastic depolarizing channel
+parameterised by the physical error rate ``p``: two-qubit gate errors,
+single-qubit gate errors, state preparation errors and measurement
+errors.  The individual rates default to ``p`` but can be overridden to
+study asymmetric models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["BaseNoiseModel"]
+
+
+@dataclass(frozen=True)
+class BaseNoiseModel:
+    """Circuit-level depolarizing noise parameters.
+
+    Attributes
+    ----------
+    physical_error_rate:
+        The headline ``p``; used as default for all error sources.
+    two_qubit_error, single_qubit_error, preparation_error, measurement_error:
+        Individual error probabilities.  ``None`` means "use
+        ``physical_error_rate``".
+    """
+
+    physical_error_rate: float
+    two_qubit_error: float | None = None
+    single_qubit_error: float | None = None
+    preparation_error: float | None = None
+    measurement_error: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.physical_error_rate <= 1.0:
+            raise ValueError("physical_error_rate must be in [0, 1]")
+        for name in (
+            "two_qubit_error",
+            "single_qubit_error",
+            "preparation_error",
+            "measurement_error",
+        ):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def p2(self) -> float:
+        """Two-qubit gate depolarizing probability."""
+        return self.two_qubit_error if self.two_qubit_error is not None \
+            else self.physical_error_rate
+
+    @property
+    def p1(self) -> float:
+        """Single-qubit gate depolarizing probability."""
+        return self.single_qubit_error if self.single_qubit_error is not None \
+            else self.physical_error_rate / 10.0
+
+    @property
+    def p_prep(self) -> float:
+        """State preparation flip probability."""
+        return self.preparation_error if self.preparation_error is not None \
+            else self.physical_error_rate
+
+    @property
+    def p_meas(self) -> float:
+        """Measurement flip probability."""
+        return self.measurement_error if self.measurement_error is not None \
+            else self.physical_error_rate
+
+    def with_physical_error_rate(self, p: float) -> "BaseNoiseModel":
+        """Same overrides, different headline ``p``."""
+        return replace(self, physical_error_rate=p)

@@ -1,0 +1,95 @@
+"""The combined hardware-aware noise model.
+
+This couples the base circuit-level model with the latency-induced
+decoherence channel: the compiled execution latency of one syndrome
+extraction round (produced by a QCCD compiler) determines the
+per-round idle error applied to every qubit, which is what makes slow
+architectures (the roadblocked grid baseline) pay a logical-error-rate
+penalty relative to fast ones (Cyclone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.noise.base import BaseNoiseModel
+from repro.noise.twirling import (
+    coherence_time_from_physical_error,
+    pauli_twirl_probabilities,
+)
+
+__all__ = ["HardwareNoiseModel"]
+
+
+@dataclass(frozen=True)
+class HardwareNoiseModel:
+    """Base circuit noise plus latency-derived decoherence.
+
+    Parameters
+    ----------
+    base:
+        The circuit-level depolarizing model.
+    round_latency_us:
+        Execution latency of one syndrome-extraction round in
+        microseconds, as reported by a QCCD compiler.  Zero latency
+        disables the decoherence channel (pure circuit-level noise).
+    t1_s, t2_s:
+        Optional explicit coherence times; by default both come from
+        the paper's log fit T = 0.01 / p.
+    """
+
+    base: BaseNoiseModel
+    round_latency_us: float = 0.0
+    t1_s: float | None = None
+    t2_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.round_latency_us < 0:
+            raise ValueError("round latency must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def physical_error_rate(self) -> float:
+        return self.base.physical_error_rate
+
+    @property
+    def coherence_time_s(self) -> tuple[float, float]:
+        """(T1, T2) in seconds."""
+        default = coherence_time_from_physical_error(
+            self.base.physical_error_rate
+        )
+        t1 = self.t1_s if self.t1_s is not None else default
+        t2 = self.t2_s if self.t2_s is not None else default
+        return (t1, t2)
+
+    @property
+    def idle_channel(self) -> tuple[float, float, float]:
+        """(px, py, pz) applied to each qubit once per round."""
+        if self.round_latency_us <= 0:
+            return (0.0, 0.0, 0.0)
+        t1, t2 = self.coherence_time_s
+        return pauli_twirl_probabilities(
+            self.round_latency_us * 1e-6, t1, t2
+        )
+
+    @property
+    def total_idle_error(self) -> float:
+        """px + py + pz of the per-round idle channel."""
+        return float(sum(self.idle_channel))
+
+    # ------------------------------------------------------------------
+    def with_round_latency(self, latency_us: float) -> "HardwareNoiseModel":
+        return replace(self, round_latency_us=latency_us)
+
+    def with_physical_error_rate(self, p: float) -> "HardwareNoiseModel":
+        return replace(self, base=self.base.with_physical_error_rate(p))
+
+    @classmethod
+    def from_physical_error_rate(cls, p: float,
+                                 round_latency_us: float = 0.0,
+                                 **base_overrides) -> "HardwareNoiseModel":
+        """Build a model from just ``p`` (and optional base-model overrides)."""
+        return cls(
+            base=BaseNoiseModel(physical_error_rate=p, **base_overrides),
+            round_latency_us=round_latency_us,
+        )

@@ -1,0 +1,84 @@
+"""Latency-induced decoherence via the Pauli twirling approximation.
+
+Section II-C-2: idling for a time ``t`` on a qubit with relaxation time
+T1 (= T_a) and dephasing time T2 (= T_b) is approximated, after Pauli
+twirling, by the independent Pauli channel
+
+    p_x = p_y = (1 - exp(-t / T1)) / 4
+    p_z = (1 - exp(-t / T2)) / 2 - (1 - exp(-t / T1)) / 4
+
+(Geller & Zhou 2013; Tomita & Svore 2014).  The paper parameterises the
+coherence time by the physical error rate with a log fit anchored at
+(p = 1e-4, T = 100 s) and (p = 1e-3, T = 10 s), i.e. ``T = 0.01 / p``
+seconds, and uses the same value for T1 and T2.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "coherence_time_from_physical_error",
+    "pauli_twirl_probabilities",
+    "decoherence_channel",
+]
+
+#: The product p * T implied by the paper's two anchor points.
+_COHERENCE_FIT_CONSTANT_SECONDS = 0.01
+
+#: Coherence times quoted for present-day trapped-ion devices (seconds).
+MIN_COHERENCE_TIME_S = 10.0
+MAX_COHERENCE_TIME_S = 100.0
+
+
+def coherence_time_from_physical_error(physical_error_rate: float,
+                                       clamp: bool = False) -> float:
+    """Coherence time (seconds) from the paper's log fit T = 0.01 / p.
+
+    With ``clamp=True`` the value is clipped to the 10-100 s range the
+    paper quotes for present-day trapped-ion hardware; by default the
+    fit is extrapolated so that sweeps over wider ``p`` ranges stay
+    smooth.
+    """
+    if physical_error_rate <= 0:
+        raise ValueError("physical_error_rate must be positive")
+    coherence = _COHERENCE_FIT_CONSTANT_SECONDS / physical_error_rate
+    if clamp:
+        coherence = min(MAX_COHERENCE_TIME_S,
+                        max(MIN_COHERENCE_TIME_S, coherence))
+    return coherence
+
+
+def pauli_twirl_probabilities(idle_time_s: float, t1_s: float,
+                              t2_s: float) -> tuple[float, float, float]:
+    """(px, py, pz) of the Pauli-twirled idle channel for ``idle_time_s``.
+
+    Raises ``ValueError`` for non-physical inputs (negative times, or
+    T2 > 2 * T1 which has no CPTP amplitude/phase damping realisation).
+    """
+    if idle_time_s < 0:
+        raise ValueError("idle time must be non-negative")
+    if t1_s <= 0 or t2_s <= 0:
+        raise ValueError("coherence times must be positive")
+    if t2_s > 2 * t1_s + 1e-12:
+        raise ValueError("T2 cannot exceed 2*T1 for a physical channel")
+    relax = 1.0 - math.exp(-idle_time_s / t1_s)
+    dephase = 1.0 - math.exp(-idle_time_s / t2_s)
+    px = relax / 4.0
+    py = relax / 4.0
+    pz = dephase / 2.0 - relax / 4.0
+    # Guard against tiny negative values from floating point noise.
+    pz = max(pz, 0.0)
+    return (px, py, pz)
+
+
+def decoherence_channel(idle_time_s: float,
+                        physical_error_rate: float) -> tuple[float, float, float]:
+    """Pauli channel for idling ``idle_time_s`` at physical error rate ``p``.
+
+    Convenience wrapper that derives T1 = T2 = 0.01 / p and applies
+    :func:`pauli_twirl_probabilities`, exactly as the paper's
+    hardware-aware noise model does with the compiled execution latency.
+    """
+    coherence = coherence_time_from_physical_error(physical_error_rate)
+    return pauli_twirl_probabilities(idle_time_s, coherence, coherence)

@@ -1,0 +1,57 @@
+"""QCCD (Quantum Charge Coupled Device) hardware simulation.
+
+This package is the reproduction's substitute for QCCDSim: a
+discrete-event model of a modular trapped-ion machine — traps with
+bounded ion capacity, junctions, shuttle segments, and the atomic
+shuttling operations (split, move, junction crossing, merge, swap) with
+the timing constants of Section II-B — together with the topology
+builders and compilers evaluated in the paper:
+
+* the baseline grid with a static earliest-job-first (EJF) schedule,
+* the dynamic timeslice scheduler on a grid (roadblock-prone),
+* the alternate grid with L-shaped junctions,
+* the mesh junction network,
+* and the Cyclone ring codesign.
+
+Compilers consume a :class:`~repro.codes.css.CSSCode` plus a
+:class:`~repro.codes.scheduling.StabilizerSchedule` and produce a
+:class:`~repro.qccd.schedule.CompiledSchedule` whose makespan feeds the
+hardware-aware noise model.
+"""
+
+from repro.qccd.timing import OperationTimes, SwapKind
+from repro.qccd.hardware import Trap, Junction, QCCDDevice
+from repro.qccd.topologies import (
+    baseline_grid_device,
+    alternate_grid_device,
+    ring_device,
+    mesh_junction_device,
+    opt_device,
+    pseudo_opt_device,
+)
+from repro.qccd.schedule import CompiledSchedule, ScheduleOp, OpKind
+from repro.qccd.mapping import (
+    QubitPlacement,
+    greedy_cluster_mapping,
+    round_robin_mapping,
+)
+
+__all__ = [
+    "OperationTimes",
+    "SwapKind",
+    "Trap",
+    "Junction",
+    "QCCDDevice",
+    "baseline_grid_device",
+    "alternate_grid_device",
+    "ring_device",
+    "mesh_junction_device",
+    "opt_device",
+    "pseudo_opt_device",
+    "CompiledSchedule",
+    "ScheduleOp",
+    "OpKind",
+    "QubitPlacement",
+    "greedy_cluster_mapping",
+    "round_robin_mapping",
+]

@@ -1,0 +1,201 @@
+"""QCCD device model: traps, junctions and shuttle segments.
+
+A device is an undirected graph whose nodes are either *traps* (hold up
+to ``capacity`` ions, degree at most 2, can run one gate at a time) or
+*junctions* (hold no ions, degree up to 4, allow path changes at a
+degree-dependent crossing cost).  Edges are shuttle segments traversed
+at the ``move`` cost.  Ions live in traps; the device tracks occupancy
+so compilers can detect capacity violations and trigger rebalances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+__all__ = ["Trap", "Junction", "QCCDDevice"]
+
+
+@dataclass(frozen=True)
+class Trap:
+    """A linear trapping zone holding an ion chain."""
+
+    node_id: str
+    capacity: int
+    position: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("trap capacity must be at least 1")
+
+
+@dataclass(frozen=True)
+class Junction:
+    """A switching element; ions transit but do not idle here.
+
+    ``l_shaped`` marks the simple two-way corner junctions used by the
+    alternate grid and by Cyclone's ring: regardless of how many
+    segments meet the node in the abstract graph, an ion passes through
+    on a fixed L-shaped path and pays only the degree-2 crossing cost.
+    """
+
+    node_id: str
+    position: tuple[float, float] = (0.0, 0.0)
+    l_shaped: bool = False
+
+
+@dataclass
+class QCCDDevice:
+    """A QCCD machine: the trap/junction graph plus ion occupancy.
+
+    Attributes
+    ----------
+    name:
+        Topology name (``"baseline_grid"``, ``"ring"``, ...).
+    graph:
+        ``networkx.Graph`` whose nodes carry the ``element`` attribute
+        (a :class:`Trap` or :class:`Junction`).
+    dac_count:
+        Number of independent DAC control channels the topology needs
+        (the paper's control-overhead metric: one per trap for a grid,
+        a constant for Cyclone thanks to broadcast wiring).
+    """
+
+    name: str
+    graph: nx.Graph
+    dac_count: int
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._occupancy: dict[str, list[int]] = {
+            node: [] for node in self.trap_ids()
+        }
+        self._ion_location: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def element(self, node_id: str):
+        return self.graph.nodes[node_id]["element"]
+
+    def is_trap(self, node_id: str) -> bool:
+        return isinstance(self.element(node_id), Trap)
+
+    def is_junction(self, node_id: str) -> bool:
+        return isinstance(self.element(node_id), Junction)
+
+    def trap_ids(self) -> list[str]:
+        return [n for n in self.graph.nodes if self.is_trap(n)]
+
+    def junction_ids(self) -> list[str]:
+        return [n for n in self.graph.nodes if self.is_junction(n)]
+
+    @property
+    def num_traps(self) -> int:
+        return len(self.trap_ids())
+
+    @property
+    def num_junctions(self) -> int:
+        return len(self.junction_ids())
+
+    @property
+    def num_segments(self) -> int:
+        return self.graph.number_of_edges()
+
+    def junction_degree(self, node_id: str) -> int:
+        if not self.is_junction(node_id):
+            raise ValueError(f"{node_id} is not a junction")
+        return self.graph.degree[node_id]
+
+    def junction_crossing_degree(self, node_id: str) -> int:
+        """Degree used for pricing a crossing (2 for L-shaped junctions)."""
+        element = self.element(node_id)
+        if not isinstance(element, Junction):
+            raise ValueError(f"{node_id} is not a junction")
+        if element.l_shaped:
+            return 2
+        return self.graph.degree[node_id]
+
+    def trap_capacity(self, node_id: str) -> int:
+        element = self.element(node_id)
+        if not isinstance(element, Trap):
+            raise ValueError(f"{node_id} is not a trap")
+        return element.capacity
+
+    def total_capacity(self) -> int:
+        return sum(self.trap_capacity(t) for t in self.trap_ids())
+
+    def validate_degrees(self) -> bool:
+        """Traps may connect to at most two shuttling paths; junctions to four."""
+        for node in self.graph.nodes:
+            degree = self.graph.degree[node]
+            if self.is_trap(node) and degree > 2:
+                return False
+            if self.is_junction(node) and degree > 4:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Ion occupancy
+    # ------------------------------------------------------------------
+    def place_ion(self, ion: int, trap_id: str, enforce_capacity: bool = True) -> None:
+        """Place (or move) an ion into a trap."""
+        if not self.is_trap(trap_id):
+            raise ValueError(f"{trap_id} is not a trap")
+        if enforce_capacity and len(self._occupancy[trap_id]) >= \
+                self.trap_capacity(trap_id):
+            raise ValueError(f"trap {trap_id} is at capacity")
+        previous = self._ion_location.get(ion)
+        if previous is not None:
+            self._occupancy[previous].remove(ion)
+        self._occupancy[trap_id].append(ion)
+        self._ion_location[ion] = trap_id
+
+    def remove_ion(self, ion: int) -> None:
+        location = self._ion_location.pop(ion, None)
+        if location is not None:
+            self._occupancy[location].remove(ion)
+
+    def ion_location(self, ion: int) -> str:
+        return self._ion_location[ion]
+
+    def ions_in(self, trap_id: str) -> list[int]:
+        return list(self._occupancy[trap_id])
+
+    def occupancy(self, trap_id: str) -> int:
+        return len(self._occupancy[trap_id])
+
+    def chain_length(self, trap_id: str) -> int:
+        """Current ion-chain length in a trap (minimum 2 for gate timing)."""
+        return max(len(self._occupancy[trap_id]), 2)
+
+    def free_space(self, trap_id: str) -> int:
+        return self.trap_capacity(trap_id) - self.occupancy(trap_id)
+
+    def clear_ions(self) -> None:
+        self._occupancy = {node: [] for node in self.trap_ids()}
+        self._ion_location = {}
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shortest_path(self, source: str, target: str) -> list[str]:
+        """Shortest node path between two traps (inclusive of endpoints)."""
+        return nx.shortest_path(self.graph, source, target)
+
+    def path_junction_degrees(self, path: list[str]) -> list[int]:
+        """Degrees of the junctions traversed by a node path."""
+        return [
+            self.graph.degree[node] for node in path if self.is_junction(node)
+        ]
+
+    def path_intermediate_traps(self, path: list[str]) -> list[str]:
+        """Traps strictly inside a node path (potential roadblocks)."""
+        return [node for node in path[1:-1] if self.is_trap(node)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QCCDDevice({self.name}, traps={self.num_traps}, "
+            f"junctions={self.num_junctions}, segments={self.num_segments})"
+        )

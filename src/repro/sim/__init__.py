@@ -1,0 +1,24 @@
+"""Stabilizer-circuit simulation.
+
+Two complementary tools:
+
+* :class:`~repro.sim.frame.FrameSimulator` — a vectorized Pauli-frame
+  sampler for the annotated circuits of :mod:`repro.circuits`.  It
+  produces detection events and logical-observable flips for many shots
+  at once, which is all a CSS memory experiment under Pauli noise needs.
+* :func:`~repro.sim.dem.detector_error_model` — enumerates every
+  elementary fault of a noisy circuit, propagates each one through the
+  (noiseless) circuit to find which detectors and observables it flips,
+  and merges faults with identical signatures.  The result is the
+  check-matrix view of the circuit that the BP+OSD decoders consume.
+"""
+
+from repro.sim.frame import FrameSimulator, SampleResult
+from repro.sim.dem import DetectorErrorModel, detector_error_model
+
+__all__ = [
+    "FrameSimulator",
+    "SampleResult",
+    "DetectorErrorModel",
+    "detector_error_model",
+]

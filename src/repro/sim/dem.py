@@ -1,0 +1,211 @@
+"""Detector error model (DEM) extraction from noisy circuits.
+
+Every stochastic noise instruction in a circuit decomposes into a set of
+*elementary faults* (a single Pauli applied at a single location, or a
+single measurement-record flip), each occurring with a known
+probability.  Because fault propagation is linear over GF(2), the effect
+of any combination of faults on the detectors and logical observables is
+the XOR of the individual effects.  The DEM therefore consists of:
+
+* a binary check matrix ``H`` (detectors x faults),
+* a binary observable matrix ``L`` (observables x faults), and
+* a prior probability per fault,
+
+where faults with identical (detector, observable) signatures are merged
+(their probabilities combined as the probability of an odd number of
+them occurring).  This matrix view is what the BP+OSD decoders consume —
+the same role ``stim.Circuit.detector_error_model()`` plays in the
+Stim/QuITS toolchain the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Instruction
+from repro.sim.frame import FrameSimulator, FaultInjection
+
+__all__ = ["DetectorErrorModel", "detector_error_model"]
+
+
+@dataclass
+class DetectorErrorModel:
+    """Merged fault mechanisms of a noisy circuit.
+
+    ``check_matrix`` has shape ``(num_detectors, num_mechanisms)``;
+    ``observable_matrix`` has shape ``(num_observables, num_mechanisms)``;
+    ``priors`` has one probability per mechanism.
+    """
+
+    check_matrix: np.ndarray
+    observable_matrix: np.ndarray
+    priors: np.ndarray
+
+    @property
+    def num_detectors(self) -> int:
+        return int(self.check_matrix.shape[0])
+
+    @property
+    def num_mechanisms(self) -> int:
+        return int(self.check_matrix.shape[1])
+
+    @property
+    def num_observables(self) -> int:
+        return int(self.observable_matrix.shape[0])
+
+    def expected_fault_count(self) -> float:
+        """Mean number of triggered mechanisms per shot."""
+        return float(self.priors.sum())
+
+
+@dataclass(frozen=True)
+class _ElementaryFault:
+    instruction_index: int
+    probability: float
+    x_flips: tuple[int, ...] = ()
+    z_flips: tuple[int, ...] = ()
+    measurement_flip: int | None = None
+
+
+def _enumerate_faults(circuit: Circuit) -> list[_ElementaryFault]:
+    faults: list[_ElementaryFault] = []
+    for index, ins in enumerate(circuit.instructions):
+        faults.extend(_faults_for_instruction(index, ins))
+    return [fault for fault in faults if fault.probability > 0]
+
+
+def _faults_for_instruction(index: int, ins: Instruction) -> list[_ElementaryFault]:
+    name = ins.name
+    faults: list[_ElementaryFault] = []
+    if name == "X_ERROR":
+        for qubit in ins.targets:
+            faults.append(_ElementaryFault(index, ins.argument, x_flips=(qubit,)))
+    elif name == "Z_ERROR":
+        for qubit in ins.targets:
+            faults.append(_ElementaryFault(index, ins.argument, z_flips=(qubit,)))
+    elif name == "DEPOLARIZE1":
+        share = ins.argument / 3.0
+        for qubit in ins.targets:
+            faults.append(_ElementaryFault(index, share, x_flips=(qubit,)))
+            faults.append(_ElementaryFault(index, share, x_flips=(qubit,),
+                                           z_flips=(qubit,)))
+            faults.append(_ElementaryFault(index, share, z_flips=(qubit,)))
+    elif name == "PAULI_CHANNEL_1":
+        px, py, pz = ins.arguments
+        for qubit in ins.targets:
+            faults.append(_ElementaryFault(index, px, x_flips=(qubit,)))
+            faults.append(_ElementaryFault(index, py, x_flips=(qubit,),
+                                           z_flips=(qubit,)))
+            faults.append(_ElementaryFault(index, pz, z_flips=(qubit,)))
+    elif name == "DEPOLARIZE2":
+        share = ins.argument / 15.0
+        controls = ins.targets[0::2]
+        targs = ins.targets[1::2]
+        for control, target in zip(controls, targs):
+            for pattern in range(1, 16):
+                x_flips = []
+                z_flips = []
+                if pattern & 1:
+                    x_flips.append(control)
+                if pattern & 2:
+                    z_flips.append(control)
+                if pattern & 4:
+                    x_flips.append(target)
+                if pattern & 8:
+                    z_flips.append(target)
+                faults.append(_ElementaryFault(
+                    index, share,
+                    x_flips=tuple(x_flips), z_flips=tuple(z_flips),
+                ))
+    elif name in ("M", "MX") and ins.argument > 0:
+        for qubit in ins.targets:
+            faults.append(_ElementaryFault(
+                index, ins.argument, measurement_flip=qubit
+            ))
+    return faults
+
+
+def detector_error_model(circuit: Circuit,
+                         merge: bool = True) -> DetectorErrorModel:
+    """Extract the detector error model of a noisy circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The noisy annotated circuit.
+    merge:
+        Merge mechanisms with identical detector/observable signatures
+        (default).  Disabling the merge keeps one column per elementary
+        fault, which is occasionally useful for debugging.
+    """
+    faults = _enumerate_faults(circuit)
+    num_detectors = circuit.num_detectors
+    num_observables = circuit.num_observables
+
+    if not faults:
+        return DetectorErrorModel(
+            check_matrix=np.zeros((num_detectors, 0), dtype=np.uint8),
+            observable_matrix=np.zeros((num_observables, 0), dtype=np.uint8),
+            priors=np.zeros(0, dtype=float),
+        )
+
+    injections = [
+        FaultInjection(
+            instruction_index=fault.instruction_index,
+            shot=shot,
+            x_flips=fault.x_flips,
+            z_flips=fault.z_flips,
+            measurement_flip=fault.measurement_flip,
+        )
+        for shot, fault in enumerate(faults)
+    ]
+    simulator = FrameSimulator(circuit)
+    result = simulator.propagate_faults(injections, shots=len(faults))
+    detector_signatures = result.detectors  # (faults, detectors)
+    observable_signatures = result.observables  # (faults, observables)
+
+    if not merge:
+        return DetectorErrorModel(
+            check_matrix=detector_signatures.T.astype(np.uint8),
+            observable_matrix=observable_signatures.T.astype(np.uint8),
+            priors=np.array([fault.probability for fault in faults]),
+        )
+
+    merged: dict[bytes, int] = {}
+    columns_detectors: list[np.ndarray] = []
+    columns_observables: list[np.ndarray] = []
+    priors: list[float] = []
+    for fault_index, fault in enumerate(faults):
+        detector_bits = detector_signatures[fault_index]
+        observable_bits = observable_signatures[fault_index]
+        if not detector_bits.any() and not observable_bits.any():
+            continue  # Fault with no effect on any detector or observable.
+        key = detector_bits.tobytes() + b"|" + observable_bits.tobytes()
+        if key in merged:
+            position = merged[key]
+            existing = priors[position]
+            new = fault.probability
+            # Probability that an odd number of the merged faults fires.
+            priors[position] = existing * (1 - new) + new * (1 - existing)
+        else:
+            merged[key] = len(priors)
+            columns_detectors.append(detector_bits)
+            columns_observables.append(observable_bits)
+            priors.append(fault.probability)
+
+    if not priors:
+        return DetectorErrorModel(
+            check_matrix=np.zeros((num_detectors, 0), dtype=np.uint8),
+            observable_matrix=np.zeros((num_observables, 0), dtype=np.uint8),
+            priors=np.zeros(0, dtype=float),
+        )
+
+    check_matrix = np.array(columns_detectors, dtype=np.uint8).T
+    observable_matrix = np.array(columns_observables, dtype=np.uint8).T
+    return DetectorErrorModel(
+        check_matrix=check_matrix,
+        observable_matrix=observable_matrix,
+        priors=np.array(priors, dtype=float),
+    )

@@ -1,0 +1,234 @@
+"""A vectorized Pauli-frame simulator.
+
+For stabilizer circuits under Pauli noise, the deviation of a noisy run
+from the noiseless reference run is fully captured by a *Pauli frame*:
+which X and Z flips each qubit currently carries.  Propagating the frame
+through Clifford gates and recording which measurements it flips
+reproduces the statistics of detection events and logical-observable
+flips exactly — the same trick Stim's frame simulator uses.  All shots
+are propagated simultaneously as boolean numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["FrameSimulator", "SampleResult", "FaultInjection"]
+
+
+@dataclass
+class SampleResult:
+    """Sampled detection events and observable flips.
+
+    ``detectors`` has shape ``(shots, num_detectors)`` and
+    ``observables`` shape ``(shots, num_observables)``; both are boolean.
+    ``measurements`` (optional) holds the raw measurement-flip record.
+    """
+
+    detectors: np.ndarray
+    observables: np.ndarray
+    measurements: np.ndarray | None = None
+
+    @property
+    def shots(self) -> int:
+        return int(self.detectors.shape[0])
+
+    def logical_error_count(self) -> int:
+        """Number of shots where any observable flipped (no decoding)."""
+        if self.observables.size == 0:
+            return 0
+        return int(self.observables.any(axis=1).sum())
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """A deterministic fault to inject during propagation (DEM probing).
+
+    The fault applies to exactly one shot row.  ``x_flips`` / ``z_flips``
+    are qubit indices whose frame bits get toggled just *before* the
+    instruction at ``instruction_index`` executes.  ``measurement_flip``
+    optionally names a qubit whose measurement outcome (within that
+    instruction, which must then be a measurement) is flipped.
+    """
+
+    instruction_index: int
+    shot: int
+    x_flips: tuple[int, ...] = ()
+    z_flips: tuple[int, ...] = ()
+    measurement_flip: int | None = None
+
+
+class FrameSimulator:
+    """Samples detection events from an annotated stabilizer circuit."""
+
+    def __init__(self, circuit: Circuit, seed: int | None = None) -> None:
+        self.circuit = circuit
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def sample(self, shots: int, return_measurements: bool = False) -> SampleResult:
+        """Sample ``shots`` noisy executions of the circuit."""
+        return self._run(shots, sample_noise=True,
+                         faults=None, return_measurements=return_measurements)
+
+    def propagate_faults(self, faults: list[FaultInjection],
+                         shots: int) -> SampleResult:
+        """Propagate deterministic faults with all stochastic noise disabled.
+
+        Each fault touches only its own shot row, so ``shots`` rows give
+        the detector/observable signature of ``shots`` independent
+        faults in a single vectorized pass.
+        """
+        by_instruction: dict[int, list[FaultInjection]] = {}
+        for fault in faults:
+            by_instruction.setdefault(fault.instruction_index, []).append(fault)
+        return self._run(shots, sample_noise=False, faults=by_instruction,
+                         return_measurements=False)
+
+    # ------------------------------------------------------------------
+    def _run(self, shots: int, sample_noise: bool,
+             faults: dict[int, list[FaultInjection]] | None,
+             return_measurements: bool) -> SampleResult:
+        circuit = self.circuit
+        num_qubits = circuit.num_qubits
+        rng = self._rng
+
+        x_frame = np.zeros((shots, num_qubits), dtype=bool)
+        z_frame = np.zeros((shots, num_qubits), dtype=bool)
+        measurements = np.zeros((shots, circuit.num_measurements), dtype=bool)
+        detectors = np.zeros((shots, circuit.num_detectors), dtype=bool)
+        observables = np.zeros((shots, max(circuit.num_observables, 0)), dtype=bool)
+
+        measurement_cursor = 0
+        detector_cursor = 0
+
+        for instruction_index, ins in enumerate(circuit.instructions):
+            pending_measure_flips: list[tuple[int, int]] = []
+            if faults and instruction_index in faults:
+                for fault in faults[instruction_index]:
+                    if fault.x_flips:
+                        x_frame[fault.shot, list(fault.x_flips)] ^= True
+                    if fault.z_flips:
+                        z_frame[fault.shot, list(fault.z_flips)] ^= True
+                    if fault.measurement_flip is not None:
+                        pending_measure_flips.append(
+                            (fault.shot, fault.measurement_flip)
+                        )
+
+            name = ins.name
+            targets = list(ins.targets)
+
+            if name == "TICK":
+                continue
+            if name == "R" or name == "RX":
+                x_frame[:, targets] = False
+                z_frame[:, targets] = False
+            elif name == "H":
+                x_frame[:, targets], z_frame[:, targets] = (
+                    z_frame[:, targets].copy(), x_frame[:, targets].copy()
+                )
+            elif name == "CX":
+                controls = targets[0::2]
+                targs = targets[1::2]
+                x_frame[:, targs] ^= x_frame[:, controls]
+                z_frame[:, controls] ^= z_frame[:, targs]
+            elif name in ("M", "MX"):
+                flips = x_frame[:, targets] if name == "M" else z_frame[:, targets]
+                flips = flips.copy()
+                if sample_noise and ins.argument > 0:
+                    flips ^= rng.random((shots, len(targets))) < ins.argument
+                for shot, qubit in pending_measure_flips:
+                    position = targets.index(qubit)
+                    flips[shot, position] ^= True
+                measurements[
+                    :, measurement_cursor:measurement_cursor + len(targets)
+                ] = flips
+                measurement_cursor += len(targets)
+                # After measurement the qubit is in a definite eigenstate of
+                # the measured basis; the conjugate frame component is moot.
+                if name == "M":
+                    z_frame[:, targets] = False
+                else:
+                    x_frame[:, targets] = False
+            elif name == "X_ERROR":
+                if sample_noise and ins.argument > 0:
+                    x_frame[:, targets] ^= (
+                        rng.random((shots, len(targets))) < ins.argument
+                    )
+            elif name == "Z_ERROR":
+                if sample_noise and ins.argument > 0:
+                    z_frame[:, targets] ^= (
+                        rng.random((shots, len(targets))) < ins.argument
+                    )
+            elif name == "DEPOLARIZE1":
+                if sample_noise and ins.argument > 0:
+                    self._apply_depolarize1(
+                        rng, x_frame, z_frame, targets, ins.argument, shots
+                    )
+            elif name == "PAULI_CHANNEL_1":
+                if sample_noise and any(ins.arguments):
+                    self._apply_pauli_channel1(
+                        rng, x_frame, z_frame, targets, ins.arguments, shots
+                    )
+            elif name == "DEPOLARIZE2":
+                if sample_noise and ins.argument > 0:
+                    self._apply_depolarize2(
+                        rng, x_frame, z_frame, targets, ins.argument, shots
+                    )
+            elif name == "DETECTOR":
+                value = np.zeros(shots, dtype=bool)
+                for record in targets:
+                    value ^= measurements[:, record]
+                detectors[:, detector_cursor] = value
+                detector_cursor += 1
+            elif name == "OBSERVABLE_INCLUDE":
+                observable = int(ins.argument)
+                value = np.zeros(shots, dtype=bool)
+                for record in targets:
+                    value ^= measurements[:, record]
+                observables[:, observable] ^= value
+            else:  # pragma: no cover - guarded by Instruction validation
+                raise ValueError(f"unhandled instruction {name}")
+
+        return SampleResult(
+            detectors=detectors,
+            observables=observables,
+            measurements=measurements if return_measurements else None,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply_depolarize1(rng, x_frame, z_frame, targets, probability, shots):
+        hit = rng.random((shots, len(targets))) < probability
+        which = rng.integers(0, 3, size=(shots, len(targets)))
+        # which: 0 -> X, 1 -> Y, 2 -> Z
+        x_frame[:, targets] ^= hit & (which != 2)
+        z_frame[:, targets] ^= hit & (which != 0)
+
+    @staticmethod
+    def _apply_pauli_channel1(rng, x_frame, z_frame, targets, probabilities, shots):
+        px, py, pz = probabilities
+        draw = rng.random((shots, len(targets)))
+        apply_x = draw < px
+        apply_y = (draw >= px) & (draw < px + py)
+        apply_z = (draw >= px + py) & (draw < px + py + pz)
+        x_frame[:, targets] ^= apply_x | apply_y
+        z_frame[:, targets] ^= apply_z | apply_y
+
+    @staticmethod
+    def _apply_depolarize2(rng, x_frame, z_frame, targets, probability, shots):
+        controls = targets[0::2]
+        targs = targets[1::2]
+        num_pairs = len(controls)
+        hit = rng.random((shots, num_pairs)) < probability
+        # Pick one of the 15 non-identity two-qubit Paulis uniformly.
+        which = rng.integers(1, 16, size=(shots, num_pairs))
+        # Bits of `which`: (x_c, z_c, x_t, z_t) — value 0 excluded above.
+        x_frame[:, controls] ^= hit & ((which & 1) != 0)
+        z_frame[:, controls] ^= hit & ((which & 2) != 0)
+        x_frame[:, targs] ^= hit & ((which & 4) != 0)
+        z_frame[:, targs] ^= hit & ((which & 8) != 0)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Fixtures favour the smallest codes that still exercise real behaviour
+(repetition, distance-3 surface, the [[72,12,6]] BB code) so the whole
+suite stays fast; the session-scoped HGP fixture is reused by the tests
+that genuinely need a larger non-topological code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes import (
+    bivariate_bicycle_code,
+    code_by_name,
+    repetition_quantum_code,
+    surface_code,
+)
+from repro.noise import BaseNoiseModel, HardwareNoiseModel
+from repro.qccd.timing import OperationTimes
+
+
+@pytest.fixture(scope="session")
+def repetition_code_d3():
+    return repetition_quantum_code(3)
+
+
+@pytest.fixture(scope="session")
+def surface_code_d3():
+    return surface_code(3)
+
+
+@pytest.fixture(scope="session")
+def surface_code_d5():
+    return surface_code(5)
+
+
+@pytest.fixture(scope="session")
+def bb_72():
+    return bivariate_bicycle_code("[[72,12,6]]")
+
+
+@pytest.fixture(scope="session")
+def hgp_225():
+    return code_by_name("HGP [[225,9,6]]")
+
+
+@pytest.fixture(scope="session")
+def default_times():
+    return OperationTimes()
+
+
+@pytest.fixture
+def base_noise():
+    return BaseNoiseModel(physical_error_rate=1e-3)
+
+
+@pytest.fixture
+def hardware_noise():
+    return HardwareNoiseModel.from_physical_error_rate(
+        1e-3, round_latency_us=1000.0
+    )

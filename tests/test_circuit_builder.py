@@ -1,0 +1,110 @@
+"""Tests for the syndrome-extraction / memory-experiment circuit builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import SyndromeCircuitBuilder, memory_experiment_circuit
+from repro.codes import surface_code, x_then_z_schedule
+from repro.noise import HardwareNoiseModel
+from repro.sim import FrameSimulator
+
+
+class TestStructure:
+    def test_qubit_layout(self, surface_code_d3, hardware_noise):
+        circuit = memory_experiment_circuit(surface_code_d3, hardware_noise,
+                                            rounds=2)
+        # 9 data + 8 ancilla qubits.
+        assert circuit.num_qubits == 17
+
+    def test_measurement_count(self, surface_code_d3, hardware_noise):
+        rounds = 3
+        circuit = memory_experiment_circuit(surface_code_d3, hardware_noise,
+                                            rounds=rounds)
+        expected = rounds * 8 + 9  # per-round ancillas + final data readout
+        assert circuit.num_measurements == expected
+
+    def test_detector_count(self, surface_code_d3, hardware_noise):
+        rounds = 3
+        circuit = memory_experiment_circuit(surface_code_d3, hardware_noise,
+                                            rounds=rounds)
+        # Round 0: only the 4 Z stabilizers are deterministic; later rounds
+        # compare all 8; the final readout adds one per Z stabilizer.
+        expected = 4 + (rounds - 1) * 8 + 4
+        assert circuit.num_detectors == expected
+
+    def test_observable_count_matches_k(self, surface_code_d3, hardware_noise):
+        circuit = memory_experiment_circuit(surface_code_d3, hardware_noise,
+                                            rounds=1)
+        assert circuit.num_observables == 1
+
+    def test_cx_count_per_round(self, surface_code_d3, hardware_noise):
+        rounds = 2
+        circuit = memory_experiment_circuit(surface_code_d3, hardware_noise,
+                                            rounds=rounds)
+        assert circuit.gate_count("CX") == rounds * \
+            surface_code_d3.total_cnot_count
+
+    def test_rounds_default_to_distance(self, surface_code_d3, hardware_noise):
+        builder = SyndromeCircuitBuilder(code=surface_code_d3,
+                                         noise=hardware_noise)
+        assert builder.rounds == 3
+
+    def test_invalid_basis_rejected(self, surface_code_d3, hardware_noise):
+        with pytest.raises(ValueError):
+            SyndromeCircuitBuilder(code=surface_code_d3, noise=hardware_noise,
+                                   basis="Y")
+
+    def test_zero_rounds_rejected(self, surface_code_d3, hardware_noise):
+        with pytest.raises(ValueError):
+            SyndromeCircuitBuilder(code=surface_code_d3, noise=hardware_noise,
+                                   rounds=0)
+
+
+class TestNoisePlacement:
+    def test_idle_channel_present_when_latency_positive(self, surface_code_d3):
+        noise = HardwareNoiseModel.from_physical_error_rate(
+            1e-3, round_latency_us=5000.0
+        )
+        circuit = memory_experiment_circuit(surface_code_d3, noise, rounds=2)
+        assert circuit.count("PAULI_CHANNEL_1") == 2
+
+    def test_idle_channel_absent_without_latency(self, surface_code_d3):
+        noise = HardwareNoiseModel.from_physical_error_rate(
+            1e-3, round_latency_us=0.0
+        )
+        circuit = memory_experiment_circuit(surface_code_d3, noise, rounds=2)
+        assert circuit.count("PAULI_CHANNEL_1") == 0
+
+    def test_two_qubit_noise_follows_every_cx_layer(self, surface_code_d3,
+                                                    hardware_noise):
+        circuit = memory_experiment_circuit(surface_code_d3, hardware_noise,
+                                            rounds=1)
+        assert circuit.count("DEPOLARIZE2") == circuit.count("CX")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    def test_noiseless_circuit_has_silent_detectors(self, surface_code_d3,
+                                                    basis):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        circuit = memory_experiment_circuit(surface_code_d3, noise, rounds=3,
+                                            basis=basis).without_noise()
+        result = FrameSimulator(circuit, seed=0).sample(32)
+        assert not result.detectors.any()
+        assert not result.observables.any()
+
+    def test_noiseless_bb_circuit_is_deterministic(self, bb_72):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        circuit = memory_experiment_circuit(bb_72, noise, rounds=2)
+        clean = circuit.without_noise()
+        result = FrameSimulator(clean, seed=1).sample(8)
+        assert not result.detectors.any()
+
+    def test_custom_schedule_respected(self, surface_code_d3, hardware_noise):
+        schedule = x_then_z_schedule(surface_code_d3)
+        circuit = memory_experiment_circuit(surface_code_d3, hardware_noise,
+                                            schedule=schedule, rounds=1)
+        clean = circuit.without_noise()
+        result = FrameSimulator(clean, seed=2).sample(4)
+        assert not result.detectors.any()

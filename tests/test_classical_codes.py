@@ -1,0 +1,112 @@
+"""Tests for classical LDPC/repetition/Hamming constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.classical import (
+    ClassicalCode,
+    distance_targeted_regular_ldpc,
+    full_rank_regular_ldpc,
+    hamming_code,
+    regular_ldpc_code,
+    repetition_code,
+)
+
+
+class TestRepetitionCode:
+    @pytest.mark.parametrize("length", [2, 3, 5, 9])
+    def test_parameters(self, length):
+        code = repetition_code(length)
+        assert code.num_bits == length
+        assert code.dimension == 1
+        assert code.minimum_distance() == length
+
+    def test_codeword_is_all_ones(self):
+        code = repetition_code(4)
+        basis = code.codewords_basis
+        assert basis.shape == (1, 4)
+        assert basis.sum() == 4
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            repetition_code(1)
+
+
+class TestHammingCode:
+    def test_hamming_7_4_3(self):
+        code = hamming_code(3)
+        assert code.num_bits == 7
+        assert code.dimension == 4
+        assert code.minimum_distance() == 3
+
+    def test_hamming_15_11_3(self):
+        code = hamming_code(4)
+        assert (code.num_bits, code.dimension) == (15, 11)
+
+    def test_small_r_raises(self):
+        with pytest.raises(ValueError):
+            hamming_code(1)
+
+
+class TestRegularLDPC:
+    def test_shape_and_no_isolated_nodes(self):
+        code = regular_ldpc_code(9, 12, row_weight=4, seed=0)
+        assert code.parity_check.shape == (9, 12)
+        assert code.parity_check.sum(axis=1).min() >= 1
+        assert code.parity_check.sum(axis=0).min() >= 1
+
+    def test_deterministic_for_fixed_seed(self):
+        a = regular_ldpc_code(9, 12, seed=3)
+        b = regular_ldpc_code(9, 12, seed=3)
+        assert np.array_equal(a.parity_check, b.parity_check)
+
+    def test_different_seeds_differ(self):
+        a = regular_ldpc_code(9, 12, seed=1)
+        b = regular_ldpc_code(9, 12, seed=2)
+        assert not np.array_equal(a.parity_check, b.parity_check)
+
+    def test_indivisible_edge_count_raises(self):
+        with pytest.raises(ValueError):
+            regular_ldpc_code(5, 12, row_weight=5)
+
+    def test_full_rank_variant_has_full_rank(self):
+        code = full_rank_regular_ldpc(9, 12, seed=0)
+        assert code.rank == 9
+        assert code.dimension == 3
+        assert code.transpose_dimension == 0
+
+    def test_distance_targeted_variant_meets_target(self):
+        code = distance_targeted_regular_ldpc(9, 12, target_distance=6)
+        assert code.rank == 9
+        assert code.minimum_distance() >= code.metadata["distance"] >= 5
+        assert code.metadata["target_distance"] == 6
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_dimension_formula(self, seed):
+        code = regular_ldpc_code(6, 8, row_weight=4, seed=seed)
+        assert code.dimension == code.num_bits - code.rank
+        assert 0 <= code.dimension <= code.num_bits
+
+
+class TestClassicalCodeDistance:
+    def test_exhaustive_distance_matches_known_code(self):
+        # [4, 1, 4] repetition code via its 3x4 chain parity check.
+        assert repetition_code(4).minimum_distance() == 4
+
+    def test_sampled_distance_upper_bounds_true_distance(self):
+        code = hamming_code(3)
+        sampled = code.minimum_distance(max_exhaustive_dimension=0, trials=300)
+        assert sampled >= 3
+
+    def test_repr_mentions_parameters(self):
+        assert "[7,4]" in repr(hamming_code(3))
+
+    def test_codewords_satisfy_checks(self):
+        code = ClassicalCode([[1, 1, 0, 0], [0, 0, 1, 1]])
+        basis = code.codewords_basis
+        assert not ((code.parity_check @ basis.T) % 2).any()

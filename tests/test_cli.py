@@ -1,0 +1,98 @@
+"""Tests for the command-line interface and result-table export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.results import ResultTable
+
+
+class TestResultTableExport:
+    def test_to_csv_round_trip(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        table.add_row(a=1, b="x")
+        table.add_row(a=2, b="y")
+        lines = table.to_csv().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+        assert len(lines) == 3
+
+    def test_to_json_structure(self):
+        table = ResultTable(title="t", columns=["a"])
+        table.add_row(a=1.5)
+        payload = json.loads(table.to_json())
+        assert payload["title"] == "t"
+        assert payload["rows"] == [{"a": 1.5}]
+
+    def test_save_by_suffix(self, tmp_path):
+        table = ResultTable(title="t", columns=["a"])
+        table.add_row(a=1)
+        csv_path = table.save(tmp_path / "out.csv")
+        json_path = table.save(tmp_path / "out.json")
+        txt_path = table.save(tmp_path / "out.txt")
+        assert csv_path.read_text().startswith("a")
+        assert json.loads(json_path.read_text())["columns"] == ["a"]
+        assert "t" in txt_path.read_text()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_compile_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["compile", "BB [[72,12,6]]"])
+        assert args.codesigns == ["baseline", "cyclone"]
+
+    def test_memory_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "memory", "surface-d3", "--shots", "10",
+            "--physical-error-rates", "1e-3", "2e-3",
+        ])
+        assert args.shots == 10
+        assert args.physical_error_rates == [1e-3, 2e-3]
+
+
+class TestCommands:
+    def test_codes_command(self, capsys):
+        assert main(["codes"]) == 0
+        output = capsys.readouterr().out
+        assert "BB [[144,12,12]]" in output
+        assert "surface-d3" in output
+
+    def test_compile_command_with_output(self, capsys, tmp_path):
+        out_file = tmp_path / "compile.csv"
+        exit_code = main([
+            "compile", "surface-d3", "--codesigns", "cyclone",
+            "--output", str(out_file),
+        ])
+        assert exit_code == 0
+        assert out_file.exists()
+        assert "cyclone" in capsys.readouterr().out
+
+    def test_compile_command_unknown_codesign(self, capsys):
+        assert main(["compile", "surface-d3", "--codesigns", "bogus"]) == 2
+        assert "unknown codesigns" in capsys.readouterr().err
+
+    def test_memory_command(self, capsys, tmp_path):
+        out_file = tmp_path / "ler.json"
+        exit_code = main([
+            "memory", "surface-d3", "--codesign", "cyclone",
+            "--physical-error-rates", "2e-3", "--shots", "30",
+            "--rounds", "2", "--output", str(out_file),
+        ])
+        assert exit_code == 0
+        payload = json.loads(out_file.read_text())
+        assert len(payload["rows"]) == 1
+        assert 0.0 <= payload["rows"][0]["logical_error_rate"] <= 1.0
+
+    def test_speedup_command(self, capsys):
+        exit_code = main(["speedup", "--codes", "BB [[72,12,6]]"])
+        assert exit_code == 0
+        assert "speedup" in capsys.readouterr().out

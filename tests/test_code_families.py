@@ -1,0 +1,167 @@
+"""Tests for the HGP, BB, surface constructions and the code library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    available_codes,
+    bb_code_names,
+    bivariate_bicycle_code,
+    code_by_name,
+    hamming_code,
+    hgp_code_names,
+    hypergraph_product,
+    repetition_code,
+    surface_code,
+)
+from repro.codes.bb import BB_CODE_SPECS, BBCodeSpec
+from repro.codes.classical import full_rank_regular_ldpc
+
+
+class TestHypergraphProduct:
+    def test_repetition_product_is_surface_like(self):
+        # HGP of the length-3 repetition code with itself is the distance-3
+        # (unrotated) surface code: [[13, 1, 3]].
+        factor = repetition_code(3)
+        code = hypergraph_product(factor)
+        assert code.num_qubits == 13
+        assert code.num_logical_qubits == 1
+        assert code.edge_colorable
+
+    def test_parameters_formula_full_rank_factors(self):
+        factor = full_rank_regular_ldpc(9, 12, seed=12)
+        code = hypergraph_product(factor)
+        assert code.num_qubits == 12 * 12 + 9 * 9
+        assert code.num_logical_qubits == factor.dimension ** 2
+
+    def test_asymmetric_product(self):
+        code = hypergraph_product(repetition_code(3), repetition_code(4))
+        assert code.num_qubits == 3 * 4 + 2 * 3
+        assert code.num_logical_qubits == 1
+
+    def test_commutation_by_construction(self):
+        code = hypergraph_product(hamming_code(3))
+        assert not ((code.hx @ code.hz.T) % 2).any()
+
+    def test_metadata_records_factors(self):
+        code = hypergraph_product(repetition_code(3))
+        assert code.metadata["family"] == "hypergraph_product"
+        assert code.metadata["primal_qubits"] == 9
+        assert code.metadata["dual_qubits"] == 4
+
+    def test_logicals_valid(self):
+        code = hypergraph_product(repetition_code(3))
+        assert code.verify_logical_operators()
+
+
+class TestBivariateBicycle:
+    @pytest.mark.parametrize("name,n,k", [
+        ("[[72,12,6]]", 72, 12),
+        ("[[90,8,10]]", 90, 8),
+        ("[[108,8,10]]", 108, 8),
+        ("[[144,12,12]]", 144, 12),
+    ])
+    def test_published_parameters(self, name, n, k):
+        code = bivariate_bicycle_code(name)
+        assert code.num_qubits == n
+        assert code.num_logical_qubits == k
+
+    def test_all_stabilizers_weight_six(self):
+        code = bivariate_bicycle_code("[[72,12,6]]")
+        assert set(code.hx.sum(axis=1)) == {6}
+        assert set(code.hz.sum(axis=1)) == {6}
+
+    def test_not_edge_colorable_flag(self):
+        assert not bivariate_bicycle_code("[[72,12,6]]").edge_colorable
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            bivariate_bicycle_code("[[999,9,9]]")
+
+    def test_custom_spec(self):
+        spec = BBCodeSpec(l=6, m=6, a_powers=(3, 1, 2), b_powers=(3, 1, 2),
+                          name="custom")
+        code = bivariate_bicycle_code(spec)
+        assert code.num_qubits == 72
+        assert code.name == "custom"
+
+    def test_distance_estimate_consistent_with_published(self):
+        code = bivariate_bicycle_code("[[72,12,6]]")
+        assert code.estimate_distance(trials=800, seed=1) >= 4
+
+    def test_spec_registry_covers_paper_codes(self):
+        for name in ("[[72,12,6]]", "[[90,8,10]]", "[[108,8,10]]",
+                     "[[144,12,12]]"):
+            assert name in BB_CODE_SPECS
+
+
+class TestSurfaceAndRepetition:
+    @pytest.mark.parametrize("distance", [3, 5, 7])
+    def test_surface_code_parameters(self, distance):
+        code = surface_code(distance)
+        assert code.parameters == (distance * distance, 1, distance)
+        assert code.num_stabilizers == distance * distance - 1
+
+    def test_surface_requires_odd_distance(self):
+        with pytest.raises(ValueError):
+            surface_code(4)
+
+    def test_surface_bulk_weights(self):
+        code = surface_code(5)
+        weights = set(code.hx.sum(axis=1)) | set(code.hz.sum(axis=1))
+        assert weights <= {2, 4}
+
+    def test_repetition_code_protects_bit_flips_only(self, repetition_code_d3):
+        assert repetition_code_d3.num_x_stabilizers == 0
+        assert repetition_code_d3.logical_z.shape == (1, 3)
+
+
+class TestLibrary:
+    def test_available_codes_constructible(self):
+        names = available_codes()
+        assert "HGP [[225,9,6]]" in names
+        assert "BB [[144,12,12]]" in names
+
+    def test_hgp_names_and_bb_names_disjoint(self):
+        assert not set(hgp_code_names()) & set(bb_code_names())
+
+    def test_hgp_225_matches_paper_parameters(self, hgp_225):
+        assert hgp_225.parameters == (225, 9, 6)
+        assert hgp_225.num_stabilizers == 216
+        assert hgp_225.edge_colorable
+
+    def test_hgp_factor_distance_is_verified(self, hgp_225):
+        # The library's factor seed was chosen so the classical factor
+        # reaches the nominal distance; the quantum distance estimate must
+        # not contradict it.
+        assert hgp_225.estimate_distance(trials=1500, seed=2) >= 4
+
+    def test_bb_library_aliases(self):
+        code = code_by_name("BB [[72,12,6]]")
+        assert code.parameters[:2] == (72, 12)
+
+    def test_surface_alias(self):
+        assert code_by_name("surface-d3").parameters == (9, 1, 3)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            code_by_name("nonexistent code")
+
+    def test_caching_returns_same_object(self):
+        assert code_by_name("surface-d3") is code_by_name("surface-d3")
+
+
+class TestCyclicShiftInternals:
+    def test_monomial_identity(self):
+        from repro.codes.bb import _cyclic_shift
+
+        shift = _cyclic_shift(4, 0)
+        assert np.array_equal(shift, np.identity(4, dtype=np.uint8))
+
+    def test_shift_power_wraps(self):
+        from repro.codes.bb import _cyclic_shift
+
+        assert np.array_equal(_cyclic_shift(4, 4), _cyclic_shift(4, 0))
+        assert np.array_equal(_cyclic_shift(4, 5), _cyclic_shift(4, 1))

@@ -1,0 +1,43 @@
+"""Smoke tests for the example scripts.
+
+The examples double as documentation; these tests keep them importable
+and run the cheapest one end to end so API drift is caught by CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_defines_main(path):
+    module = _load_module(path)
+    assert callable(getattr(module, "main", None))
+    assert module.__doc__
+
+
+def test_custom_code_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["custom_code_and_hardware.py"])
+    module = _load_module(EXAMPLES_DIR / "custom_code_and_hardware.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "Custom code" in output
+    assert "LER" in output

@@ -1,0 +1,108 @@
+"""End-to-end integration tests reproducing the paper's qualitative claims.
+
+These are the "does the whole pipeline tell the paper's story" checks:
+Cyclone is faster, smaller and yields a better logical error rate than
+the grid baseline, the worst-case runtime bound holds, and the
+circuit-level and phenomenological simulation paths agree on small
+codes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MemoryExperiment,
+    code_by_name,
+    codesign_by_name,
+    logical_error_rate,
+    spacetime_comparison,
+)
+from repro.codes import surface_code
+
+
+@pytest.fixture(scope="module")
+def bb72():
+    return code_by_name("BB [[72,12,6]]")
+
+
+@pytest.fixture(scope="module")
+def compiled_pair(bb72):
+    baseline = codesign_by_name("baseline").compile(bb72)
+    cyclone = codesign_by_name("cyclone").compile(bb72)
+    return baseline, cyclone
+
+
+class TestHeadlineClaims:
+    def test_cyclone_speedup_between_2x_and_6x(self, compiled_pair):
+        baseline, cyclone = compiled_pair
+        speedup = baseline.execution_time_us / cyclone.execution_time_us
+        assert 2.0 <= speedup <= 8.0
+
+    def test_cyclone_halves_traps_and_ancillas(self, bb72, compiled_pair):
+        baseline, cyclone = compiled_pair
+        assert cyclone.metadata["num_traps"] <= \
+            baseline.metadata["num_traps"] / 2
+        assert cyclone.metadata["num_ancilla"] * 2 == \
+            baseline.metadata["num_ancilla"]
+
+    def test_cyclone_constant_dacs_vs_linear(self, compiled_pair):
+        baseline, cyclone = compiled_pair
+        assert cyclone.metadata["dac_count"] == 1
+        assert baseline.metadata["dac_count"] == \
+            baseline.metadata["num_traps"]
+
+    def test_spacetime_improvement_order_10x(self, compiled_pair):
+        baseline, cyclone = compiled_pair
+        comparison = spacetime_comparison(baseline, cyclone)
+        assert comparison["improvement_factor"] > 8
+
+    def test_cyclone_ler_not_worse_than_baseline(self, bb72, compiled_pair):
+        baseline, cyclone = compiled_pair
+        p = 7e-4
+        base_result = logical_error_rate(
+            bb72, p, baseline.execution_time_us, shots=200, rounds=3, seed=21
+        )
+        cyc_result = logical_error_rate(
+            bb72, p, cyclone.execution_time_us, shots=200, rounds=3, seed=21
+        )
+        assert cyc_result.logical_error_rate <= \
+            base_result.logical_error_rate
+
+    def test_roadblock_free_claim(self, compiled_pair):
+        baseline, cyclone = compiled_pair
+        assert cyclone.metadata["roadblock_events"] == 0
+        assert baseline.metadata["roadblock_events"] > 0
+
+
+class TestCrossValidation:
+    def test_methods_agree_on_surface_code(self):
+        code = surface_code(3)
+        p = 3e-3
+        phenom = MemoryExperiment(code=code, rounds=3,
+                                  method="phenomenological", seed=2)
+        circuit = MemoryExperiment(code=code, rounds=3, method="circuit",
+                                   seed=2)
+        ler_phenom = phenom.run(p, 0.0, shots=400).logical_error_rate
+        ler_circuit = circuit.run(p, 0.0, shots=400).logical_error_rate
+        # Both are small and within a factor-of-a-few of each other.
+        assert ler_phenom < 0.2
+        assert ler_circuit < 0.2
+        if ler_circuit > 0 and ler_phenom > 0:
+            ratio = ler_phenom / ler_circuit
+            assert 0.05 < ratio < 20
+
+    def test_all_codesigns_compile_every_paper_bb_code(self):
+        for code_name in ("BB [[72,12,6]]", "BB [[90,8,10]]"):
+            code = code_by_name(code_name)
+            for design in ("baseline", "cyclone", "alternate_grid"):
+                compiled = codesign_by_name(design).compile(code)
+                assert compiled.execution_time_us > 0
+                assert compiled.gate_count() == code.total_cnot_count
+
+    def test_full_pipeline_on_hgp_code(self, hgp_225):
+        cyclone = codesign_by_name("cyclone").compile(hgp_225)
+        result = logical_error_rate(hgp_225, 3e-4,
+                                    cyclone.execution_time_us, shots=60,
+                                    rounds=3, seed=9)
+        assert result.logical_error_rate <= 0.2

@@ -1,0 +1,179 @@
+"""Unit and property-based tests for the GF(2) linear algebra kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.linalg import (
+    gf2_matrix,
+    inverse,
+    is_in_row_space,
+    kernel_intersection_complement,
+    nullspace,
+    rank,
+    row_echelon,
+    row_reduce_mod2,
+    row_space,
+    solve,
+)
+
+binary_matrices = arrays(
+    np.uint8,
+    st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    elements=st.integers(0, 1),
+)
+
+
+class TestGF2Matrix:
+    def test_coerces_values_mod2(self):
+        mat = gf2_matrix([[2, 3], [4, 5]])
+        assert mat.tolist() == [[0, 1], [0, 1]]
+
+    def test_promotes_vector_to_row(self):
+        assert gf2_matrix([1, 0, 1]).shape == (1, 3)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            gf2_matrix(np.zeros((2, 2, 2)))
+
+    def test_dtype_is_uint8(self):
+        assert gf2_matrix([[1, 0]]).dtype == np.uint8
+
+
+class TestRowEchelon:
+    def test_identity_is_already_reduced(self):
+        identity = np.identity(4, dtype=np.uint8)
+        echelon, rnk, transform, pivots = row_echelon(identity)
+        assert rnk == 4
+        assert pivots == [0, 1, 2, 3]
+        assert np.array_equal(echelon, identity)
+        assert np.array_equal(transform, identity)
+
+    def test_rank_of_dependent_rows(self):
+        mat = [[1, 1, 0], [0, 1, 1], [1, 0, 1]]  # row3 = row1 + row2
+        assert rank(mat) == 2
+
+    def test_transform_reproduces_echelon(self):
+        mat = gf2_matrix([[1, 1, 0, 1], [0, 1, 1, 0], [1, 0, 1, 1]])
+        echelon, _, transform, _ = row_echelon(mat, full=True)
+        assert np.array_equal((transform @ mat) % 2, echelon)
+
+    def test_zero_matrix(self):
+        assert rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_full_reduction_clears_above_pivots(self):
+        mat = [[1, 1], [0, 1]]
+        reduced = row_reduce_mod2(mat)
+        assert reduced.tolist() == [[1, 0], [0, 1]]
+
+
+class TestNullspace:
+    def test_nullspace_dimension(self):
+        mat = gf2_matrix([[1, 1, 0], [0, 1, 1]])
+        basis = nullspace(mat)
+        assert basis.shape == (1, 3)
+        assert np.array_equal((mat @ basis.T) % 2, np.zeros((2, 1)))
+
+    def test_full_rank_square_has_trivial_nullspace(self):
+        assert nullspace(np.identity(3, dtype=np.uint8)).shape[0] == 0
+
+    def test_zero_matrix_nullspace_is_everything(self):
+        basis = nullspace(np.zeros((2, 4), dtype=np.uint8))
+        assert basis.shape == (4, 4)
+        assert rank(basis) == 4
+
+    @given(binary_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_nullspace_vectors_are_in_kernel(self, matrix):
+        basis = nullspace(matrix)
+        if basis.shape[0]:
+            product = (gf2_matrix(matrix) @ basis.T) % 2
+            assert not product.any()
+
+    @given(binary_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_nullity_theorem(self, matrix):
+        matrix = gf2_matrix(matrix)
+        assert rank(matrix) + nullspace(matrix).shape[0] == matrix.shape[1]
+
+
+class TestSolve:
+    def test_solves_consistent_system(self):
+        mat = gf2_matrix([[1, 1, 0], [0, 1, 1]])
+        rhs = np.array([1, 1], dtype=np.uint8)
+        solution = solve(mat, rhs)
+        assert solution is not None
+        assert np.array_equal((mat @ solution) % 2, rhs)
+
+    def test_detects_inconsistent_system(self):
+        mat = gf2_matrix([[1, 0], [1, 0]])
+        assert solve(mat, [1, 0]) is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve(gf2_matrix([[1, 0]]), [1, 0])
+
+    @given(binary_matrices, st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_solution_of_reachable_rhs(self, matrix, seed):
+        matrix = gf2_matrix(matrix)
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2, matrix.shape[1], dtype=np.uint8)
+        rhs = (matrix @ x) % 2
+        solution = solve(matrix, rhs)
+        assert solution is not None
+        assert np.array_equal((matrix @ solution) % 2, rhs)
+
+
+class TestInverse:
+    def test_inverse_of_identity(self):
+        identity = np.identity(3, dtype=np.uint8)
+        assert np.array_equal(inverse(identity), identity)
+
+    def test_inverse_roundtrip(self):
+        mat = gf2_matrix([[1, 1, 0], [0, 1, 0], [1, 0, 1]])
+        inv = inverse(mat)
+        assert np.array_equal((inv @ mat) % 2, np.identity(3, dtype=np.uint8))
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            inverse([[1, 1], [1, 1]])
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            inverse([[1, 0, 1]])
+
+
+class TestRowSpaceMembership:
+    def test_row_is_member(self):
+        mat = [[1, 0, 1], [0, 1, 1]]
+        assert is_in_row_space([1, 1, 0], mat)
+
+    def test_non_member(self):
+        mat = [[1, 0, 1], [0, 1, 1]]
+        assert not is_in_row_space([1, 0, 0], mat)
+
+    def test_row_space_basis_has_rank_rows(self):
+        mat = [[1, 1, 0], [1, 1, 0], [0, 0, 1]]
+        assert row_space(mat).shape[0] == 2
+
+
+class TestKernelComplement:
+    def test_repetition_code_logicals(self):
+        # Z checks of the 3-qubit repetition code; X stabilizer group empty.
+        hz = [[1, 1, 0], [0, 1, 1]]
+        hx = np.zeros((0, 3), dtype=np.uint8)
+        logicals = kernel_intersection_complement(hx, hz)
+        assert logicals.shape == (1, 3)
+        assert not ((gf2_matrix(hz) @ logicals.T) % 2).any()
+
+    def test_complement_is_independent_of_stabilizers(self):
+        hx = [[1, 1, 1, 1, 0, 0], [0, 0, 1, 1, 1, 1]]
+        hz = [[1, 1, 0, 0, 1, 1]]
+        logicals = kernel_intersection_complement(hx, hz)
+        for row in logicals:
+            assert not is_in_row_space(row, hx)

@@ -1,0 +1,86 @@
+"""Tests for the Section IV-C independent/concurrent loop analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    independent_loop_partition,
+    loop_split_cost,
+    single_vs_split_loop_table,
+    stabilizer_connectivity_graph,
+)
+from repro.codes import CSSCode, code_by_name, surface_code
+
+
+def _two_disjoint_repetition_blocks() -> CSSCode:
+    """Two independent 3-qubit repetition codes on 6 qubits."""
+    hz = np.zeros((4, 6), dtype=np.uint8)
+    hz[0, [0, 1]] = 1
+    hz[1, [1, 2]] = 1
+    hz[2, [3, 4]] = 1
+    hz[3, [4, 5]] = 1
+    hx = np.zeros((0, 6), dtype=np.uint8)
+    return CSSCode(hx=hx, hz=hz, name="two-blocks")
+
+
+class TestConnectivityGraph:
+    def test_graph_size(self, surface_code_d3):
+        graph = stabilizer_connectivity_graph(surface_code_d3)
+        assert graph.number_of_nodes() == surface_code_d3.num_stabilizers
+        assert graph.number_of_edges() > 0
+
+    def test_disjoint_blocks_are_disconnected(self):
+        code = _two_disjoint_repetition_blocks()
+        partition = independent_loop_partition(code)
+        assert len(partition) == 2
+        assert sorted(len(group) for group in partition) == [2, 2]
+
+    def test_paper_codes_have_single_component(self):
+        for name in ("BB [[72,12,6]]", "HGP [[225,9,6]]"):
+            code = code_by_name(name)
+            assert len(independent_loop_partition(code)) == 1
+
+    def test_surface_code_is_connected_too(self, surface_code_d3):
+        assert len(independent_loop_partition(surface_code_d3)) == 1
+
+
+class TestLoopSplitCost:
+    def test_single_loop_has_no_sharing(self, bb_72):
+        cost = loop_split_cost(bb_72, 1)
+        assert cost["shared_data_qubits"] == 0
+        assert cost["extra_rotations"] == 0
+        assert cost["estimated_time_us"] > 0
+
+    def test_forced_split_shares_data_for_bb_codes(self, bb_72):
+        cost = loop_split_cost(bb_72, 2)
+        assert cost["shared_data_qubits"] > 0
+        assert cost["extra_rotations"] >= 1
+
+    def test_split_never_beats_single_loop_for_paper_codes(self, bb_72):
+        single = loop_split_cost(bb_72, 1)["estimated_time_us"]
+        for loops in (2, 3, 4):
+            split = loop_split_cost(bb_72, loops)["estimated_time_us"]
+            assert split >= single * 0.9
+
+    def test_disjoint_blocks_split_cleanly(self):
+        code = _two_disjoint_repetition_blocks()
+        cost = loop_split_cost(code, 2)
+        assert cost["shared_data_qubits"] == 0
+        assert cost["extra_rotations"] == 0
+
+    def test_invalid_loop_count(self, bb_72):
+        with pytest.raises(ValueError):
+            loop_split_cost(bb_72, 0)
+
+
+class TestAblationTable:
+    def test_table_rows_and_conclusion(self, bb_72):
+        table = single_vs_split_loop_table(bb_72, loop_counts=(1, 2, 4))
+        assert len(table) == 3
+        times = dict(zip(table.column("num_loops"),
+                         table.column("estimated_time_us")))
+        assert times[1] <= min(times[2], times[4]) * 1.1
+        assert all(value == 1 for value in
+                   table.column("independent_components"))

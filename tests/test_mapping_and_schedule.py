@@ -1,0 +1,180 @@
+"""Tests for qubit placement strategies and the compiled-schedule container."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import surface_code
+from repro.qccd import (
+    CompiledSchedule,
+    OpKind,
+    baseline_grid_device,
+    greedy_cluster_mapping,
+    ring_device,
+    round_robin_mapping,
+)
+from repro.qccd.mapping import balanced_data_partition, interaction_graph
+
+
+class TestInteractionGraph:
+    def test_nodes_cover_data_and_ancilla(self, surface_code_d3):
+        graph = interaction_graph(surface_code_d3)
+        assert graph.number_of_nodes() == 9 + 8
+
+    def test_ancilla_data_edges_weighted_higher(self, surface_code_d3):
+        graph = interaction_graph(surface_code_d3)
+        ancilla = 9  # first X stabilizer's ancilla
+        data = surface_code_d3.x_stabilizer_support(0)[0]
+        assert graph[ancilla][data]["weight"] >= 1.0
+
+
+class TestMappings:
+    def test_greedy_mapping_places_every_qubit(self, surface_code_d3):
+        device = baseline_grid_device(9, trap_capacity=4)
+        placement = greedy_cluster_mapping(surface_code_d3, device)
+        assert len(placement.qubit_to_trap) == 17
+        occupancy = placement.occupancy()
+        assert all(count <= 4 for count in occupancy.values())
+
+    def test_greedy_mapping_colocates_interacting_qubits(self, surface_code_d3):
+        device = baseline_grid_device(9, trap_capacity=6)
+        placement = greedy_cluster_mapping(surface_code_d3, device)
+        colocated = 0
+        for stabilizer, (_, support) in enumerate(
+                surface_code_d3.stabilizer_supports()):
+            ancilla_trap = placement.trap_of(9 + stabilizer)
+            colocated += sum(
+                1 for q in support if placement.trap_of(q) == ancilla_trap
+            )
+        assert colocated > 0
+
+    def test_round_robin_balances_occupancy(self, surface_code_d3):
+        device = ring_device(num_traps=6, trap_capacity=4)
+        placement = round_robin_mapping(surface_code_d3, device)
+        occupancy = placement.occupancy()
+        assert max(occupancy.values()) - min(occupancy.values()) <= 1
+
+    def test_capacity_shortfall_raises(self, surface_code_d3):
+        device = ring_device(num_traps=2, trap_capacity=2)
+        with pytest.raises(ValueError):
+            greedy_cluster_mapping(surface_code_d3, device)
+        with pytest.raises(ValueError):
+            round_robin_mapping(surface_code_d3, device)
+
+    def test_apply_to_device(self, surface_code_d3):
+        device = baseline_grid_device(9, trap_capacity=4)
+        placement = greedy_cluster_mapping(surface_code_d3, device)
+        placement.apply_to_device(device)
+        total = sum(device.occupancy(t) for t in device.trap_ids())
+        assert total == 17
+
+    def test_copy_is_independent(self, surface_code_d3):
+        device = baseline_grid_device(9, trap_capacity=4)
+        placement = greedy_cluster_mapping(surface_code_d3, device)
+        clone = placement.copy()
+        clone.qubit_to_trap[0] = "elsewhere"
+        assert placement.qubit_to_trap[0] != "elsewhere"
+
+
+class TestBalancedPartition:
+    def test_even_split(self):
+        parts = balanced_data_partition(12, 4)
+        assert [len(p) for p in parts] == [3, 3, 3, 3]
+
+    def test_uneven_split_front_loads_remainder(self):
+        parts = balanced_data_partition(10, 4)
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+
+    def test_covers_all_indices_exactly_once(self):
+        parts = balanced_data_partition(17, 5)
+        flat = [q for part in parts for q in part]
+        assert sorted(flat) == list(range(17))
+
+    def test_invalid_trap_count(self):
+        with pytest.raises(ValueError):
+            balanced_data_partition(5, 0)
+
+    @given(st.integers(1, 200), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_sizes_differ_by_at_most_one(self, n, traps):
+        parts = balanced_data_partition(n, traps)
+        sizes = [len(p) for p in parts]
+        assert len(parts) == traps
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestCompiledSchedule:
+    def _sample_schedule(self) -> CompiledSchedule:
+        schedule = CompiledSchedule(architecture="test", code_name="code")
+        schedule.add(OpKind.GATE, 0.0, 100.0, (0, 1), "T0")
+        schedule.add(OpKind.GATE, 0.0, 100.0, (2, 3), "T1")
+        schedule.add(OpKind.SPLIT, 100.0, 80.0, (0,), "T0")
+        schedule.add(OpKind.MOVE, 180.0, 10.0, (0,), "seg")
+        schedule.add(OpKind.MERGE, 190.0, 80.0, (0,), "T1")
+        return schedule
+
+    def test_execution_time_is_makespan(self):
+        schedule = self._sample_schedule()
+        assert schedule.execution_time_us == pytest.approx(270.0)
+
+    def test_metadata_override_of_execution_time(self):
+        schedule = self._sample_schedule()
+        schedule.metadata["execution_time_us"] = 400.0
+        assert schedule.execution_time_us == 400.0
+
+    def test_serialized_time_sums_durations(self):
+        schedule = self._sample_schedule()
+        assert schedule.serialized_time_us == pytest.approx(370.0)
+
+    def test_multiplicity_weights_serialized_metrics_only(self):
+        schedule = CompiledSchedule(architecture="test", code_name="code")
+        schedule.add(OpKind.SPLIT, 0.0, 80.0, (), "ring", multiplicity=10)
+        assert schedule.execution_time_us == pytest.approx(80.0)
+        assert schedule.serialized_time_us == pytest.approx(800.0)
+        assert schedule.shuttle_count() == 10
+
+    def test_component_breakdown(self):
+        breakdown = self._sample_schedule().component_breakdown()
+        assert breakdown["gate"] == pytest.approx(200.0)
+        assert breakdown["split"] == pytest.approx(80.0)
+
+    def test_parallelization_fraction_between_zero_and_one(self):
+        schedule = self._sample_schedule()
+        assert 0.0 <= schedule.parallelization_fraction < 1.0
+
+    def test_counts(self):
+        schedule = self._sample_schedule()
+        assert schedule.gate_count() == 2
+        assert schedule.shuttle_count() == 3
+        assert schedule.count(OpKind.MOVE) == 1
+
+    def test_max_concurrency(self):
+        schedule = self._sample_schedule()
+        assert schedule.max_concurrency() == 2
+
+    def test_empty_schedule(self):
+        schedule = CompiledSchedule(architecture="empty", code_name="code")
+        assert schedule.execution_time_us == 0.0
+        assert schedule.parallelization_fraction == 0.0
+        assert schedule.max_concurrency() == 0
+
+    def test_summary_keys(self):
+        summary = self._sample_schedule().summary()
+        assert summary["architecture"] == "test"
+        assert summary["execution_time_us"] == pytest.approx(270.0)
+
+
+def test_mapping_works_for_bb_code(bb_72):
+    device = baseline_grid_device(bb_72.num_qubits, trap_capacity=5)
+    placement = greedy_cluster_mapping(bb_72, device)
+    assert len(placement.qubit_to_trap) == bb_72.num_qubits + \
+        bb_72.num_stabilizers
+
+
+def test_mapping_respects_capacity_for_surface(surface_code_d5):
+    device = baseline_grid_device(surface_code_d5.num_qubits, trap_capacity=5)
+    placement = greedy_cluster_mapping(surface_code_d5, device)
+    assert max(placement.occupancy().values()) <= 5

@@ -1,0 +1,162 @@
+"""Tests for the phenomenological model and the memory-experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import code_by_name, surface_code
+from repro.core.memory import MemoryExperiment, MemoryResult, logical_error_rate
+from repro.core.phenomenological import (
+    build_phenomenological_model,
+    effective_error_rates,
+)
+from repro.noise import HardwareNoiseModel
+
+
+@pytest.fixture(scope="module")
+def bb72():
+    return code_by_name("BB [[72,12,6]]")
+
+
+class TestEffectiveRates:
+    def test_rates_positive_and_bounded(self, bb72):
+        noise = HardwareNoiseModel.from_physical_error_rate(
+            1e-3, round_latency_us=10_000.0
+        )
+        data, meas = effective_error_rates(bb72, noise)
+        assert 0 < data <= 0.5
+        assert 0 < meas <= 0.5
+
+    def test_latency_increases_data_rate(self, bb72):
+        base = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        slow = base.with_round_latency(200_000.0)
+        fast = base.with_round_latency(10_000.0)
+        assert effective_error_rates(bb72, slow)[0] > \
+            effective_error_rates(bb72, fast)[0]
+
+    def test_invalid_basis(self, bb72):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        with pytest.raises(ValueError):
+            effective_error_rates(bb72, noise, basis="Y")
+
+    def test_x_basis_uses_dual_structure(self, bb72):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        z_rates = effective_error_rates(bb72, noise, basis="Z")
+        x_rates = effective_error_rates(bb72, noise, basis="X")
+        # BB codes are symmetric between the bases, so the rates agree.
+        assert z_rates == pytest.approx(x_rates)
+
+
+class TestPhenomenologicalModel:
+    def test_matrix_shapes(self, bb72):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        rounds = 3
+        model = build_phenomenological_model(bb72, noise, rounds=rounds)
+        num_checks = bb72.num_z_stabilizers
+        assert model.check_matrix.shape == (
+            (rounds + 1) * num_checks,
+            rounds * bb72.num_qubits + rounds * num_checks,
+        )
+        assert model.observable_matrix.shape[0] == 12
+        assert model.priors.shape[0] == model.check_matrix.shape[1]
+
+    def test_measurement_columns_have_weight_two(self, bb72):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        model = build_phenomenological_model(bb72, noise, rounds=2)
+        measurement_columns = model.check_matrix[:, 2 * bb72.num_qubits:]
+        assert set(measurement_columns.sum(axis=0)) == {2}
+
+    def test_data_columns_match_check_weights(self, bb72):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        model = build_phenomenological_model(bb72, noise, rounds=1)
+        data_columns = model.check_matrix[:, :bb72.num_qubits]
+        assert np.array_equal(
+            data_columns[:bb72.num_z_stabilizers], bb72.hz
+        )
+
+    def test_sampler_reproducible(self, bb72):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        model = build_phenomenological_model(bb72, noise, rounds=2)
+        a = model.sample(20, seed=5)
+        b = model.sample(20, seed=5)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_zero_rounds_rejected(self, bb72):
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        with pytest.raises(ValueError):
+            build_phenomenological_model(bb72, noise, rounds=0)
+
+
+class TestMemoryExperiment:
+    def test_result_bookkeeping(self, bb72):
+        result = logical_error_rate(bb72, physical_error_rate=1e-3,
+                                    round_latency_us=10_000.0, shots=50,
+                                    rounds=2, seed=1)
+        assert isinstance(result, MemoryResult)
+        assert result.shots == 50
+        assert 0 <= result.failures <= 50
+        assert 0.0 <= result.logical_error_rate <= 1.0
+        assert 0.0 <= result.logical_error_rate_per_round <= \
+            result.logical_error_rate + 1e-12
+        assert result.standard_error >= 0
+
+    def test_ler_increases_with_latency(self, bb72):
+        experiment = MemoryExperiment(code=bb72, rounds=3, seed=7)
+        fast = experiment.run(1e-3, 10_000.0, shots=150)
+        slow = experiment.run(1e-3, 400_000.0, shots=150)
+        assert slow.logical_error_rate >= fast.logical_error_rate
+
+    def test_ler_increases_with_physical_error(self, bb72):
+        experiment = MemoryExperiment(code=bb72, rounds=3, seed=8)
+        low = experiment.run(1e-4, 50_000.0, shots=150)
+        high = experiment.run(2e-3, 50_000.0, shots=150)
+        assert high.logical_error_rate >= low.logical_error_rate
+
+    def test_invalid_method_rejected(self, bb72):
+        with pytest.raises(ValueError):
+            MemoryExperiment(code=bb72, method="analytic")
+
+    def test_rounds_default_capped(self):
+        code = code_by_name("BB [[144,12,12]]")
+        experiment = MemoryExperiment(code=code)
+        assert experiment.rounds == 8
+
+    def test_circuit_method_on_small_code(self):
+        code = surface_code(3)
+        experiment = MemoryExperiment(code=code, rounds=2, method="circuit",
+                                      seed=3)
+        result = experiment.run(2e-3, 0.0, shots=100)
+        assert result.method == "circuit"
+        assert result.logical_error_rate < 0.2
+        assert "num_detectors" in result.metadata
+
+    def test_phenomenological_metadata(self, bb72):
+        experiment = MemoryExperiment(code=bb72, rounds=2, seed=4)
+        result = experiment.run(1e-3, 50_000.0, shots=30)
+        assert "data_error_rate" in result.metadata
+        assert "bp_converged_fraction" in result.metadata
+        assert result.metadata["idle_error"] > 0
+
+    def test_repetition_code_corrects_bit_flips(self, repetition_code_d3):
+        experiment = MemoryExperiment(code=repetition_code_d3, rounds=3,
+                                      seed=5)
+        protected = experiment.run(5e-3, 0.0, shots=300)
+        assert protected.logical_error_rate < 0.05
+
+    def test_per_round_rate_definition(self):
+        result = MemoryResult(code_name="c", physical_error_rate=1e-3,
+                              round_latency_us=0.0, rounds=4, shots=100,
+                              failures=40, method="phenomenological",
+                              basis="Z")
+        per_shot = 0.4
+        expected = 1 - (1 - per_shot) ** 0.25
+        assert result.logical_error_rate_per_round == pytest.approx(expected)
+
+    def test_zero_shot_edge_case(self):
+        result = MemoryResult(code_name="c", physical_error_rate=1e-3,
+                              round_latency_us=0.0, rounds=4, shots=0,
+                              failures=0, method="phenomenological", basis="Z")
+        assert result.logical_error_rate == 0.0
+        assert result.standard_error == 0.0

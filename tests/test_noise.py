@@ -1,0 +1,157 @@
+"""Tests for the base, twirling and hardware-aware noise models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import (
+    BaseNoiseModel,
+    HardwareNoiseModel,
+    coherence_time_from_physical_error,
+    decoherence_channel,
+    pauli_twirl_probabilities,
+)
+
+
+class TestBaseNoiseModel:
+    def test_defaults_derive_from_p(self):
+        model = BaseNoiseModel(physical_error_rate=1e-3)
+        assert model.p2 == 1e-3
+        assert model.p_meas == 1e-3
+        assert model.p_prep == 1e-3
+        assert model.p1 == pytest.approx(1e-4)
+
+    def test_overrides(self):
+        model = BaseNoiseModel(physical_error_rate=1e-3,
+                               measurement_error=5e-3)
+        assert model.p_meas == 5e-3
+        assert model.p2 == 1e-3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BaseNoiseModel(physical_error_rate=1.5)
+        with pytest.raises(ValueError):
+            BaseNoiseModel(physical_error_rate=0.1, two_qubit_error=-0.1)
+
+    def test_with_physical_error_rate_preserves_overrides(self):
+        model = BaseNoiseModel(physical_error_rate=1e-3,
+                               measurement_error=5e-3)
+        scaled = model.with_physical_error_rate(1e-4)
+        assert scaled.p_meas == 5e-3
+        assert scaled.p2 == 1e-4
+
+
+class TestCoherenceFit:
+    def test_anchor_points(self):
+        assert coherence_time_from_physical_error(1e-4) == pytest.approx(100.0)
+        assert coherence_time_from_physical_error(1e-3) == pytest.approx(10.0)
+
+    def test_clamped_to_hardware_range(self):
+        assert coherence_time_from_physical_error(1e-6, clamp=True) == 100.0
+        assert coherence_time_from_physical_error(1e-2, clamp=True) == 10.0
+
+    def test_rejects_non_positive_p(self):
+        with pytest.raises(ValueError):
+            coherence_time_from_physical_error(0.0)
+
+
+class TestPauliTwirl:
+    def test_zero_time_has_no_error(self):
+        assert pauli_twirl_probabilities(0.0, 10.0, 10.0) == (0.0, 0.0, 0.0)
+
+    def test_symmetric_t1_t2(self):
+        px, py, pz = pauli_twirl_probabilities(1.0, 100.0, 100.0)
+        assert px == pytest.approx(py)
+        assert px > 0
+        assert pz >= 0
+
+    def test_pure_dephasing_dominates_when_t2_short(self):
+        px, py, pz = pauli_twirl_probabilities(1.0, 100.0, 10.0)
+        assert pz > px
+
+    def test_unphysical_t2_rejected(self):
+        with pytest.raises(ValueError):
+            pauli_twirl_probabilities(1.0, 1.0, 3.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            pauli_twirl_probabilities(-1.0, 10.0, 10.0)
+
+    def test_known_value(self):
+        px, py, pz = pauli_twirl_probabilities(1.0, 1.0, 1.0)
+        relax = 1 - math.exp(-1.0)
+        assert px == pytest.approx(relax / 4)
+        assert pz == pytest.approx(relax / 2 - relax / 4)
+
+    @given(st.floats(1e-6, 10.0), st.floats(0.1, 100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_probabilities_form_valid_channel(self, idle, t1):
+        px, py, pz = pauli_twirl_probabilities(idle, t1, t1)
+        assert 0 <= px <= 0.25 + 1e-9
+        assert 0 <= pz <= 0.5
+        assert px + py + pz <= 0.75 + 1e-9
+
+    @given(st.floats(1e-6, 1.0), st.floats(1e-4, 1e-2))
+    @settings(max_examples=60, deadline=None)
+    def test_error_monotone_in_idle_time(self, idle, p):
+        shorter = sum(decoherence_channel(idle, p))
+        longer = sum(decoherence_channel(idle * 2, p))
+        assert longer >= shorter - 1e-12
+
+
+class TestHardwareNoiseModel:
+    def test_idle_channel_zero_without_latency(self):
+        model = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        assert model.idle_channel == (0.0, 0.0, 0.0)
+
+    def test_idle_error_grows_with_latency(self):
+        slow = HardwareNoiseModel.from_physical_error_rate(
+            1e-3, round_latency_us=100_000.0
+        )
+        fast = HardwareNoiseModel.from_physical_error_rate(
+            1e-3, round_latency_us=10_000.0
+        )
+        assert slow.total_idle_error > fast.total_idle_error > 0
+
+    def test_idle_error_grows_with_physical_error_rate(self):
+        low = HardwareNoiseModel.from_physical_error_rate(
+            1e-4, round_latency_us=50_000.0
+        )
+        high = HardwareNoiseModel.from_physical_error_rate(
+            1e-3, round_latency_us=50_000.0
+        )
+        assert high.total_idle_error > low.total_idle_error
+
+    def test_explicit_coherence_times_used(self):
+        model = HardwareNoiseModel.from_physical_error_rate(
+            1e-3, round_latency_us=1000.0
+        )
+        explicit = HardwareNoiseModel(base=model.base,
+                                      round_latency_us=1000.0,
+                                      t1_s=1.0, t2_s=1.0)
+        assert explicit.coherence_time_s == (1.0, 1.0)
+        assert explicit.total_idle_error > model.total_idle_error
+
+    def test_with_round_latency(self):
+        model = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        updated = model.with_round_latency(2000.0)
+        assert updated.round_latency_us == 2000.0
+        assert model.round_latency_us == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareNoiseModel.from_physical_error_rate(
+                1e-3, round_latency_us=-1.0
+            )
+
+    def test_paper_operating_point_magnitude(self):
+        # p = 1e-4 and a ~100 ms round should give a per-round idle error
+        # around 1e-3 (T1 = T2 = 100 s).
+        model = HardwareNoiseModel.from_physical_error_rate(
+            1e-4, round_latency_us=100_000.0
+        )
+        assert 1e-4 < model.total_idle_error < 1e-2

@@ -1,0 +1,152 @@
+"""Cross-module property-based tests (hypothesis).
+
+These check structural invariants that must hold for *any* valid input,
+not just the library's named instances: CSS commutation and parameter
+formulas for arbitrary hypergraph products, schedule validity, linearity
+of fault propagation, and decoder consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import memory_experiment_circuit
+from repro.codes import hypergraph_product, x_then_z_schedule
+from repro.codes.classical import ClassicalCode
+from repro.codes.scheduling import serial_schedule
+from repro.decoders import BPOSDDecoder
+from repro.linalg import rank
+from repro.noise import HardwareNoiseModel
+from repro.sim import FrameSimulator, detector_error_model
+
+
+@st.composite
+def classical_codes(draw):
+    """Small random classical codes with no empty rows/columns."""
+    num_checks = draw(st.integers(2, 5))
+    num_bits = draw(st.integers(num_checks, 7))
+    matrix = draw(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=num_bits, max_size=num_bits),
+            min_size=num_checks, max_size=num_checks,
+        )
+    )
+    parity = np.array(matrix, dtype=np.uint8)
+    assume(parity.sum(axis=1).min() > 0)
+    assume(parity.sum(axis=0).min() > 0)
+    return ClassicalCode(parity, name="random")
+
+
+class TestHypergraphProductProperties:
+    @given(classical_codes())
+    @settings(max_examples=40, deadline=None)
+    def test_css_commutation_always_holds(self, factor):
+        code = hypergraph_product(factor)
+        assert not ((code.hx @ code.hz.T) % 2).any()
+
+    @given(classical_codes())
+    @settings(max_examples=40, deadline=None)
+    def test_parameter_formula(self, factor):
+        code = hypergraph_product(factor)
+        m, n = factor.parity_check.shape
+        k_code = factor.dimension
+        k_transpose = factor.transpose_dimension
+        assert code.num_qubits == n * n + m * m
+        assert code.num_logical_qubits == k_code ** 2 + k_transpose ** 2
+
+    @given(classical_codes())
+    @settings(max_examples=25, deadline=None)
+    def test_logical_operator_counts(self, factor):
+        code = hypergraph_product(factor)
+        assert code.logical_x.shape[0] == code.num_logical_qubits
+        assert code.logical_z.shape[0] == code.num_logical_qubits
+        if code.num_logical_qubits:
+            assert rank(code.logical_x) == code.num_logical_qubits
+
+
+class TestScheduleProperties:
+    @given(classical_codes())
+    @settings(max_examples=30, deadline=None)
+    def test_x_then_z_schedule_always_valid(self, factor):
+        code = hypergraph_product(factor)
+        schedule = x_then_z_schedule(code)
+        assert schedule.validate()
+        assert schedule.total_gates == code.total_cnot_count
+
+    @given(classical_codes())
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_schedule_never_deeper_than_serial(self, factor):
+        code = hypergraph_product(factor)
+        assert x_then_z_schedule(code).depth <= serial_schedule(code).depth
+
+
+class TestFaultPropagationLinearity:
+    @given(st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_two_faults_xor_to_combined_signature(self, seed):
+        """Propagating faults A and B together equals XOR of A and B alone."""
+        from repro.codes import surface_code
+        from repro.sim.frame import FaultInjection
+
+        code = surface_code(3)
+        noise = HardwareNoiseModel.from_physical_error_rate(1e-3)
+        circuit = memory_experiment_circuit(code, noise, rounds=2)
+        rng = np.random.default_rng(seed)
+        noisy_positions = [
+            index for index, ins in enumerate(circuit.instructions)
+            if ins.name == "DEPOLARIZE2"
+        ]
+        position_a, position_b = rng.choice(noisy_positions, 2, replace=False)
+        qubit_a = int(rng.choice(circuit.instructions[position_a].targets))
+        qubit_b = int(rng.choice(circuit.instructions[position_b].targets))
+
+        simulator = FrameSimulator(circuit)
+        separate = simulator.propagate_faults([
+            FaultInjection(position_a, shot=0, x_flips=(qubit_a,)),
+            FaultInjection(position_b, shot=1, x_flips=(qubit_b,)),
+        ], shots=2)
+        combined = simulator.propagate_faults([
+            FaultInjection(position_a, shot=0, x_flips=(qubit_a,)),
+            FaultInjection(position_b, shot=0, x_flips=(qubit_b,)),
+        ], shots=1)
+        assert np.array_equal(
+            combined.detectors[0],
+            separate.detectors[0] ^ separate.detectors[1],
+        )
+        assert np.array_equal(
+            combined.observables[0],
+            separate.observables[0] ^ separate.observables[1],
+        )
+
+
+class TestDecoderProperties:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_bposd_output_always_matches_syndrome(self, seed):
+        from repro.codes import surface_code
+
+        code = surface_code(3)
+        rng = np.random.default_rng(seed)
+        priors = np.full(code.num_qubits, 0.05)
+        decoder = BPOSDDecoder(code.hz, priors, max_iterations=10)
+        error = (rng.random(code.num_qubits) < 0.15).astype(np.uint8)
+        syndrome = (code.hz @ error) % 2
+        decoded = decoder.decode(syndrome)
+        assert np.array_equal((code.hz @ decoded) % 2, syndrome)
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_dem_decoding_consistency_on_surface_code(self, seed):
+        from repro.codes import surface_code
+
+        code = surface_code(3)
+        noise = HardwareNoiseModel.from_physical_error_rate(2e-3)
+        circuit = memory_experiment_circuit(code, noise, rounds=2)
+        dem = detector_error_model(circuit)
+        decoder = BPOSDDecoder(dem.check_matrix, dem.priors, max_iterations=15)
+        sample = FrameSimulator(circuit, seed=seed).sample(16)
+        result = decoder.decode_batch(sample.detectors)
+        reproduced = (result.errors @ dem.check_matrix.T) % 2
+        assert np.array_equal(reproduced.astype(bool), sample.detectors)
