@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Performance smoke benchmark: packed vs boolean backends.
+
+Times the three hot layers of the reproduction pipeline — frame
+sampling, detector-error-model extraction and batched BP+OSD decoding —
+plus the headline end-to-end memory experiment, in both the bit-packed
+and the boolean reference backends, and writes the results to
+``BENCH_sim.json`` at the repository root so future PRs have a
+performance trajectory to regress against.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+Budgets are fixed so numbers stay comparable across commits; scale them
+with the environment variables below (e.g. for a quick CI sanity check):
+
+* ``REPRO_PERF_SHOTS``        — end-to-end memory-experiment shots (10000)
+* ``REPRO_PERF_DECODE_SHOTS`` — batched-decode shots            (2000)
+* ``REPRO_PERF_FRAME_SHOTS``  — frame-sampling shots            (20000)
+
+This is a plain script (not a pytest benchmark) because the boolean
+reference path is deliberately slow — minutes at the default budget —
+and should only run when a perf data point is wanted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuits import memory_experiment_circuit
+from repro.codes import code_by_name, surface_code
+from repro.core.memory import MemoryExperiment
+from repro.core.phenomenological import build_phenomenological_model
+from repro.decoders.bposd import BPOSDDecoder
+from repro.noise import HardwareNoiseModel
+from repro.sim import FrameSimulator, detector_error_model
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_sim.json"
+
+#: Operating point for the headline benchmark: the paper's [[72,12,6]]
+#: bivariate bicycle code at p = 1e-3 and a 50 ms round latency.
+BB_CODE = "BB [[72,12,6]]"
+PHYSICAL_ERROR_RATE = 1e-3
+ROUND_LATENCY_US = 50_000.0
+
+
+def _int_env(name: str, default: int) -> int:
+    try:
+        return max(int(os.environ.get(name, default)), 1)
+    except ValueError:
+        return default
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_frame_sampling(shots: int) -> dict:
+    """Circuit-level frame sampling on a distance-5 surface-code memory."""
+    code = surface_code(5)
+    noise = HardwareNoiseModel.from_physical_error_rate(
+        PHYSICAL_ERROR_RATE, round_latency_us=100.0
+    )
+    circuit = memory_experiment_circuit(code, noise, rounds=3)
+    timings = {}
+    samples = {}
+    for backend in ("packed", "bool"):
+        simulator = FrameSimulator(circuit, seed=0, backend=backend)
+        timings[backend], samples[backend] = _timed(
+            lambda: simulator.sample(shots)
+        )
+    identical = bool(
+        np.array_equal(samples["packed"].detectors, samples["bool"].detectors)
+        and np.array_equal(samples["packed"].observables,
+                           samples["bool"].observables)
+    )
+    return {
+        "description": f"surface d=5 memory circuit, {shots} shots",
+        "packed_seconds": timings["packed"],
+        "bool_seconds": timings["bool"],
+        "speedup": timings["bool"] / timings["packed"],
+        "outputs_identical": identical,
+    }
+
+
+def bench_dem_extraction() -> dict:
+    """Circuit-level DEM extraction on a distance-5 surface-code memory."""
+    code = surface_code(5)
+    noise = HardwareNoiseModel.from_physical_error_rate(
+        PHYSICAL_ERROR_RATE, round_latency_us=100.0
+    )
+    circuit = memory_experiment_circuit(code, noise, rounds=3)
+    timings = {}
+    models = {}
+    for backend in ("packed", "bool"):
+        timings[backend], models[backend] = _timed(
+            lambda: detector_error_model(circuit, backend=backend)
+        )
+    identical = bool(
+        np.array_equal(models["packed"].check_matrix,
+                       models["bool"].check_matrix)
+        and np.allclose(models["packed"].priors, models["bool"].priors)
+    )
+    return {
+        "description": "surface d=5 memory circuit, "
+                       f"{models['packed'].num_mechanisms} mechanisms",
+        "packed_seconds": timings["packed"],
+        "bool_seconds": timings["bool"],
+        "speedup": timings["bool"] / timings["packed"],
+        "outputs_identical": identical,
+    }
+
+
+def bench_batched_decode(shots: int) -> dict:
+    """Batched BP+OSD decode of phenomenological BB-code syndromes."""
+    code = code_by_name(BB_CODE)
+    noise = HardwareNoiseModel.from_physical_error_rate(
+        PHYSICAL_ERROR_RATE, round_latency_us=ROUND_LATENCY_US
+    )
+    model = build_phenomenological_model(code, noise, rounds=6)
+    syndromes, _ = model.sample(shots, seed=0)
+    timings = {}
+    converged = {}
+    for backend in ("packed", "bool"):
+        decoder = BPOSDDecoder(model.check_matrix, model.priors,
+                               max_iterations=40, backend=backend)
+        timings[backend], result = _timed(
+            lambda: decoder.decode_batch(syndromes)
+        )
+        converged[backend] = float(result.bp_converged.mean())
+    return {
+        "description": f"{BB_CODE} phenomenological syndromes, {shots} shots",
+        "packed_seconds": timings["packed"],
+        "bool_seconds": timings["bool"],
+        "speedup": timings["bool"] / timings["packed"],
+        "bp_converged_fraction": converged,
+    }
+
+
+def bench_memory_experiment(shots: int) -> dict:
+    """Headline: end-to-end 10k-shot BB-code memory experiment."""
+    code = code_by_name(BB_CODE)
+    timings = {}
+    lers = {}
+    for backend in ("packed", "bool"):
+        experiment = MemoryExperiment(code=code, seed=0, backend=backend)
+        timings[backend], result = _timed(
+            lambda: experiment.run(PHYSICAL_ERROR_RATE, ROUND_LATENCY_US,
+                                   shots=shots)
+        )
+        lers[backend] = result.logical_error_rate
+    return {
+        "description": f"{BB_CODE} memory experiment, {shots} shots, "
+                       f"p={PHYSICAL_ERROR_RATE:g}, "
+                       f"latency={ROUND_LATENCY_US:g}us",
+        "packed_seconds": timings["packed"],
+        "bool_seconds": timings["bool"],
+        "speedup": timings["bool"] / timings["packed"],
+        "logical_error_rate": lers,
+    }
+
+
+def main() -> None:
+    shots = _int_env("REPRO_PERF_SHOTS", 10_000)
+    decode_shots = _int_env("REPRO_PERF_DECODE_SHOTS", 2_000)
+    frame_shots = _int_env("REPRO_PERF_FRAME_SHOTS", 20_000)
+
+    sections = {}
+    print(f"frame sampling ({frame_shots} shots)...", flush=True)
+    sections["frame_sampling"] = bench_frame_sampling(frame_shots)
+    print("dem extraction...", flush=True)
+    sections["dem_extraction"] = bench_dem_extraction()
+    print(f"batched decode ({decode_shots} shots)...", flush=True)
+    sections["batched_decode"] = bench_batched_decode(decode_shots)
+    print(f"memory experiment ({shots} shots, slow: runs the boolean "
+          "reference too)...", flush=True)
+    sections["memory_experiment"] = bench_memory_experiment(shots)
+
+    report = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "budgets": {
+            "memory_experiment_shots": shots,
+            "batched_decode_shots": decode_shots,
+            "frame_sampling_shots": frame_shots,
+        },
+        "sections": sections,
+        "headline_speedup": sections["memory_experiment"]["speedup"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    print()
+    for name, section in sections.items():
+        print(f"{name:20s} packed {section['packed_seconds']:8.2f}s  "
+              f"bool {section['bool_seconds']:8.2f}s  "
+              f"speedup {section['speedup']:6.1f}x")
+    print(f"\nheadline speedup: {report['headline_speedup']:.1f}x "
+          f"(target >= 5x); wrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,9 +27,16 @@ __all__ = [
 ]
 
 
-def _ler(code: CSSCode, physical_error_rate: float, latency_us: float,
-         shots: int, rounds: int | None, seed: int = 0) -> float:
-    experiment = MemoryExperiment(code=code, rounds=rounds, seed=seed)
+def _sweep_experiment(code: CSSCode, rounds: int | None,
+                      seed: int) -> MemoryExperiment:
+    """One experiment per sweep: the space-time structure and decoder
+    graph are cached inside it, so successive operating points only
+    refresh priors instead of rebuilding identical decoders."""
+    return MemoryExperiment(code=code, rounds=rounds, seed=seed)
+
+
+def _ler(experiment: MemoryExperiment, physical_error_rate: float,
+         latency_us: float, shots: int) -> float:
     return experiment.run(physical_error_rate, latency_us,
                           shots=shots).logical_error_rate
 
@@ -50,13 +57,14 @@ def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
               f"p={physical_error_rate:g})",
         columns=["speedup", "round_latency_us", "logical_error_rate"],
     )
+    experiment = _sweep_experiment(code, rounds, seed)
     for speedup in speedups:
         scaled = latency / speedup
         table.add_row(
             speedup=speedup,
             round_latency_us=scaled,
-            logical_error_rate=_ler(code, physical_error_rate, scaled, shots,
-                                    rounds, seed),
+            logical_error_rate=_ler(experiment, physical_error_rate, scaled,
+                                    shots),
         )
     return table
 
@@ -78,13 +86,13 @@ def junction_crossing_sensitivity(code: CSSCode,
         columns=["design", "junction_reduction", "execution_time_us",
                  "logical_error_rate"],
     )
+    experiment = _sweep_experiment(code, rounds, seed)
     baseline = codesign_by_name("baseline").compile(code)
     table.add_row(
         design="baseline_grid", junction_reduction=0.0,
         execution_time_us=baseline.execution_time_us,
-        logical_error_rate=_ler(code, physical_error_rate,
-                                baseline.execution_time_us, shots, rounds,
-                                seed),
+        logical_error_rate=_ler(experiment, physical_error_rate,
+                                baseline.execution_time_us, shots),
     )
     for reduction in reductions:
         times = OperationTimes(junction_improvement_factor=reduction)
@@ -92,9 +100,8 @@ def junction_crossing_sensitivity(code: CSSCode,
         table.add_row(
             design="mesh_junction", junction_reduction=reduction,
             execution_time_us=mesh.execution_time_us,
-            logical_error_rate=_ler(code, physical_error_rate,
-                                    mesh.execution_time_us, shots, rounds,
-                                    seed),
+            logical_error_rate=_ler(experiment, physical_error_rate,
+                                    mesh.execution_time_us, shots),
         )
     return table
 
@@ -122,6 +129,7 @@ def trap_arrangement_sensitivity(code: CSSCode,
         columns=["num_traps", "trap_capacity", "chain_length",
                  "execution_time_us", "logical_error_rate"],
     )
+    experiment = _sweep_experiment(code, rounds, seed)
     for x in trap_counts:
         x = max(1, min(int(x), m_basis)) if m_basis else 1
         compiled = CycloneCompiler(num_traps=x).compile(code)
@@ -134,8 +142,8 @@ def trap_arrangement_sensitivity(code: CSSCode,
         }
         if include_ler:
             row["logical_error_rate"] = _ler(
-                code, physical_error_rate, compiled.execution_time_us, shots,
-                rounds, seed,
+                experiment, physical_error_rate, compiled.execution_time_us,
+                shots,
             )
         table.add_row(**row)
     return table
@@ -156,14 +164,14 @@ def loose_capacity_sensitivity(code: CSSCode,
               f"({code.name}, p={physical_error_rate:g})",
         columns=["trap_capacity", "execution_time_us", "logical_error_rate"],
     )
+    experiment = _sweep_experiment(code, rounds, seed)
     for capacity in capacities:
         compiled = EJFGridCompiler(trap_capacity=capacity).compile(code)
         table.add_row(
             trap_capacity=capacity,
             execution_time_us=compiled.execution_time_us,
-            logical_error_rate=_ler(code, physical_error_rate,
-                                    compiled.execution_time_us, shots, rounds,
-                                    seed),
+            logical_error_rate=_ler(experiment, physical_error_rate,
+                                    compiled.execution_time_us, shots),
         )
     return table
 
@@ -186,6 +194,7 @@ def operation_time_sensitivity(code: CSSCode,
         columns=["reduction", "design", "execution_time_us",
                  "logical_error_rate"],
     )
+    experiment = _sweep_experiment(code, rounds, seed)
     for reduction in reductions:
         times = OperationTimes(improvement_factor=reduction)
         for design in ("baseline", "cyclone"):
@@ -194,9 +203,8 @@ def operation_time_sensitivity(code: CSSCode,
                 reduction=reduction,
                 design=design,
                 execution_time_us=compiled.execution_time_us,
-                logical_error_rate=_ler(code, physical_error_rate,
-                                        compiled.execution_time_us, shots,
-                                        rounds, seed),
+                logical_error_rate=_ler(experiment, physical_error_rate,
+                                        compiled.execution_time_us, shots),
             )
     return table
 

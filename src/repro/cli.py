@@ -75,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     memory_parser.add_argument("--shots", type=int, default=200)
     memory_parser.add_argument("--rounds", type=int, default=None)
     memory_parser.add_argument("--seed", type=int, default=0)
+    memory_parser.add_argument(
+        "--backend", choices=("packed", "bool"), default="packed",
+        help="simulation/decoding kernels: bit-packed (fast, default) or "
+             "boolean reference",
+    )
     memory_parser.add_argument("--output", default=None)
 
     speedup_parser = subparsers.add_parser(
@@ -133,6 +138,7 @@ def _cmd_memory(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         label=f"{args.codesign}, {compiled.execution_time_us:.0f} us/round",
         seed=args.seed,
+        backend=args.backend,
     )
     _emit(table, args.output)
     return 0

@@ -28,8 +28,12 @@ import numpy as np
 from repro.circuits.builder import memory_experiment_circuit
 from repro.codes.css import CSSCode
 from repro.codes.scheduling import StabilizerSchedule
-from repro.core.phenomenological import build_phenomenological_model
+from repro.core.phenomenological import (
+    build_phenomenological_model,
+    build_spacetime_structure,
+)
 from repro.decoders.bposd import BPOSDDecoder
+from repro.linalg.bitops import pack_bits, packed_matmul
 from repro.noise.hardware import HardwareNoiseModel
 from repro.sim.dem import detector_error_model
 from repro.sim.frame import FrameSimulator
@@ -101,6 +105,15 @@ class MemoryExperiment:
         Decoder knobs passed to :class:`~repro.decoders.bposd.BPOSDDecoder`.
     schedule:
         Gate schedule used by the circuit-level method.
+    backend:
+        ``"packed"`` (default) uses the bit-packed shot-parallel kernels
+        throughout (simulator, DEM, decoder); ``"bool"`` selects the
+        boolean reference implementations.
+    seed:
+        Root seed.  Every call to :meth:`run` derives an independent
+        child seed via ``numpy.random.SeedSequence.spawn``, so sweep
+        points are sampled with decorrelated noise realisations while
+        the sweep as a whole stays reproducible.
     """
 
     code: CSSCode
@@ -111,13 +124,27 @@ class MemoryExperiment:
     osd_order: int = 0
     schedule: StabilizerSchedule | None = None
     seed: int = 0
+    backend: str = "packed"
 
     def __post_init__(self) -> None:
         if self.method not in ("phenomenological", "circuit"):
             raise ValueError("method must be 'phenomenological' or 'circuit'")
+        if self.backend not in ("packed", "bool"):
+            raise ValueError("backend must be 'packed' or 'bool'")
         if self.rounds is None:
             distance = self.code.distance or 3
             self.rounds = max(1, min(distance, 8))
+        self._seed_sequence = np.random.SeedSequence(self.seed)
+        # Sweep cache: the space-time structure and decoder graph depend
+        # only on (code, rounds, basis, decoder knobs) — all fixed for
+        # this experiment — so operating-point sweeps reuse them and
+        # merely refresh the priors.
+        self._structure = None
+        self._decoder = None
+
+    def _spawn_seed(self) -> np.random.SeedSequence:
+        """Child seed for the next run (decorrelated across sweep points)."""
+        return self._seed_sequence.spawn(1)[0]
 
     # ------------------------------------------------------------------
     def run(self, physical_error_rate: float, round_latency_us: float,
@@ -143,18 +170,45 @@ class MemoryExperiment:
         )
 
     # ------------------------------------------------------------------
+    def _predict_observables(self, errors: np.ndarray,
+                             observable_matrix: np.ndarray,
+                             observable_packed: np.ndarray | None = None
+                             ) -> np.ndarray:
+        """``errors @ observable_matrix.T mod 2`` in the active backend."""
+        if self.backend == "packed":
+            if observable_packed is None:
+                observable_packed = pack_bits(observable_matrix, axis=1)
+            return packed_matmul(pack_bits(errors, axis=1), observable_packed)
+        return (errors @ observable_matrix.T) % 2
+
     def _run_phenomenological(self, noise: HardwareNoiseModel,
                               shots: int) -> tuple[int, dict]:
+        if self._structure is None:
+            self._structure = build_spacetime_structure(
+                self.code, rounds=self.rounds, basis=self.basis
+            )
         model = build_phenomenological_model(
-            self.code, noise, rounds=self.rounds, basis=self.basis
+            self.code, noise, rounds=self.rounds, basis=self.basis,
+            structure=self._structure,
         )
-        decoder = BPOSDDecoder(
-            model.check_matrix, model.priors,
-            max_iterations=self.max_bp_iterations, osd_order=self.osd_order,
+        if self._decoder is None:
+            self._decoder = BPOSDDecoder(
+                model.check_matrix, model.priors,
+                max_iterations=self.max_bp_iterations,
+                osd_order=self.osd_order, backend=self.backend,
+            )
+        else:
+            self._decoder.update_priors(model.priors)
+        decoder = self._decoder
+        syndromes, observables = model.sample(
+            shots, seed=self._spawn_seed(), backend=self.backend
         )
-        syndromes, observables = model.sample(shots, seed=self.seed)
         decoded = decoder.decode_batch(syndromes)
-        predicted = (decoded.errors @ model.observable_matrix.T) % 2
+        predicted = self._predict_observables(
+            decoded.errors, model.observable_matrix,
+            observable_packed=self._structure.packed_observable_matrix
+            if self.backend == "packed" else None,
+        )
         failures = int(
             np.any(predicted.astype(bool) != observables.astype(bool), axis=1)
             .sum()
@@ -172,14 +226,18 @@ class MemoryExperiment:
             self.code, noise, schedule=self.schedule, rounds=self.rounds,
             basis=self.basis,
         )
-        dem = detector_error_model(circuit)
+        dem = detector_error_model(circuit, backend=self.backend)
         decoder = BPOSDDecoder(
             dem.check_matrix, dem.priors,
             max_iterations=self.max_bp_iterations, osd_order=self.osd_order,
+            backend=self.backend,
         )
-        sample = FrameSimulator(circuit, seed=self.seed).sample(shots)
+        sample = FrameSimulator(
+            circuit, seed=self._spawn_seed(), backend=self.backend
+        ).sample(shots)
         decoded = decoder.decode_batch(sample.detectors)
-        predicted = (decoded.errors @ dem.observable_matrix.T) % 2
+        predicted = self._predict_observables(decoded.errors,
+                                              dem.observable_matrix)
         failures = int(
             np.any(predicted.astype(bool) != sample.observables, axis=1).sum()
         )
@@ -195,9 +253,10 @@ def logical_error_rate(code: CSSCode, physical_error_rate: float,
                        round_latency_us: float, shots: int = 200,
                        rounds: int | None = None, basis: str = "Z",
                        method: str = "phenomenological",
-                       seed: int = 0) -> MemoryResult:
+                       seed: int = 0, backend: str = "packed") -> MemoryResult:
     """One-call convenience wrapper around :class:`MemoryExperiment`."""
     experiment = MemoryExperiment(
-        code=code, rounds=rounds, basis=basis, method=method, seed=seed
+        code=code, rounds=rounds, basis=basis, method=method, seed=seed,
+        backend=backend,
     )
     return experiment.run(physical_error_rate, round_latency_us, shots=shots)

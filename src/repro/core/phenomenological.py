@@ -26,15 +26,19 @@ The model produces the space-time check matrix decoded with BP+OSD:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.codes.css import CSSCode
+from repro.linalg.bitops import pack_bits, packed_matmul
 from repro.noise.hardware import HardwareNoiseModel
 
 __all__ = [
     "PhenomenologicalModel",
+    "SpacetimeStructure",
     "effective_error_rates",
+    "build_spacetime_structure",
     "build_phenomenological_model",
 ]
 
@@ -55,6 +59,7 @@ class PhenomenologicalModel:
     check_matrix: np.ndarray
     observable_matrix: np.ndarray
     priors: np.ndarray
+    structure: "SpacetimeStructure | None" = None
 
     @property
     def num_detectors(self) -> int:
@@ -65,11 +70,29 @@ class PhenomenologicalModel:
         return int(self.check_matrix.shape[1])
 
     # ------------------------------------------------------------------
-    def sample(self, shots: int, seed: int | None = None
+    def sample(self, shots: int, seed=None, backend: str = "packed"
                ) -> tuple[np.ndarray, np.ndarray]:
-        """Sample (syndromes, observable_flips) for ``shots`` experiments."""
+        """Sample (syndromes, observable_flips) for ``shots`` experiments.
+
+        Both backends draw the same error realisations; ``"packed"``
+        computes the syndromes as word-level AND/popcount parities
+        instead of dense integer matrix products.
+        """
+        if backend not in ("packed", "bool"):
+            raise ValueError("backend must be 'packed' or 'bool'")
         rng = np.random.default_rng(seed)
         errors = rng.random((shots, self.num_mechanisms)) < self.priors
+        if backend == "packed":
+            if self.structure is not None:
+                check_packed = self.structure.packed_check_matrix
+                observable_packed = self.structure.packed_observable_matrix
+            else:
+                check_packed = pack_bits(self.check_matrix, axis=1)
+                observable_packed = pack_bits(self.observable_matrix, axis=1)
+            errors_packed = pack_bits(errors, axis=1)
+            syndromes = packed_matmul(errors_packed, check_packed)
+            observables = packed_matmul(errors_packed, observable_packed)
+            return syndromes, observables
         syndromes = (errors @ self.check_matrix.T) % 2
         observables = (errors @ self.observable_matrix.T) % 2
         return syndromes.astype(np.uint8), observables.astype(np.uint8)
@@ -115,20 +138,60 @@ def effective_error_rates(code: CSSCode, noise: HardwareNoiseModel,
     return (min(data_rate, 0.5), min(measurement_rate, 0.5))
 
 
-def build_phenomenological_model(code: CSSCode, noise: HardwareNoiseModel,
-                                 rounds: int, basis: str = "Z"
-                                 ) -> PhenomenologicalModel:
-    """Construct the space-time decoding model for a memory experiment."""
+@dataclass(frozen=True)
+class SpacetimeStructure:
+    """Noise-independent part of the phenomenological decoding model.
+
+    The space-time check matrix and observable matrix depend only on the
+    code, the number of rounds and the basis; the per-mechanism priors
+    are the *only* thing an operating point (latency, physical error
+    rate) changes.  Sweeps therefore build this once and re-prior it per
+    point instead of re-assembling identical matrices.
+    """
+
+    code: CSSCode
+    basis: str
+    rounds: int
+    check_matrix: np.ndarray
+    observable_matrix: np.ndarray
+    num_data_mechanisms: int
+
+    @property
+    def num_mechanisms(self) -> int:
+        return int(self.check_matrix.shape[1])
+
+    @cached_property
+    def packed_check_matrix(self) -> np.ndarray:
+        """Check matrix packed along mechanisms, computed once per sweep."""
+        return pack_bits(self.check_matrix, axis=1)
+
+    @cached_property
+    def packed_observable_matrix(self) -> np.ndarray:
+        """Observable matrix packed along mechanisms, computed once."""
+        return pack_bits(self.observable_matrix, axis=1)
+
+    def priors_for(self, data_rate: float,
+                   measurement_rate: float) -> np.ndarray:
+        """Per-mechanism priors at one operating point."""
+        priors = np.empty(self.num_mechanisms, dtype=float)
+        priors[:self.num_data_mechanisms] = data_rate
+        priors[self.num_data_mechanisms:] = measurement_rate
+        return priors
+
+
+def build_spacetime_structure(code: CSSCode, rounds: int,
+                              basis: str = "Z") -> SpacetimeStructure:
+    """Assemble the space-time check/observable matrices (no noise)."""
     if rounds < 1:
         raise ValueError("need at least one round")
-    data_rate, measurement_rate = effective_error_rates(code, noise, basis)
-
     if basis == "Z":
         checks = code.hz
         logicals = code.logical_z
-    else:
+    elif basis == "X":
         checks = code.hx
         logicals = code.logical_x
+    else:
+        raise ValueError("basis must be 'Z' or 'X'")
     num_checks = checks.shape[0]
     n = code.num_qubits
     num_layers = rounds + 1  # round-to-round differences + final readout layer
@@ -140,7 +203,6 @@ def build_phenomenological_model(code: CSSCode, noise: HardwareNoiseModel,
     check_matrix = np.zeros((num_detectors, num_mechanisms), dtype=np.uint8)
     observable_matrix = np.zeros((logicals.shape[0], num_mechanisms),
                                  dtype=np.uint8)
-    priors = np.zeros(num_mechanisms, dtype=float)
 
     # Data error mechanisms: qubit q failing before round r.
     for r in range(rounds):
@@ -149,7 +211,6 @@ def build_phenomenological_model(code: CSSCode, noise: HardwareNoiseModel,
         check_matrix[row_base:row_base + num_checks,
                      col_base:col_base + n] = checks
         observable_matrix[:, col_base:col_base + n] = logicals
-        priors[col_base:col_base + n] = data_rate
 
     # Measurement error mechanisms: check j misread in round r.
     for r in range(rounds):
@@ -157,7 +218,33 @@ def build_phenomenological_model(code: CSSCode, noise: HardwareNoiseModel,
         for j in range(num_checks):
             check_matrix[r * num_checks + j, col_base + j] ^= 1
             check_matrix[(r + 1) * num_checks + j, col_base + j] ^= 1
-        priors[col_base:col_base + num_checks] = measurement_rate
+
+    return SpacetimeStructure(
+        code=code,
+        basis=basis,
+        rounds=rounds,
+        check_matrix=check_matrix,
+        observable_matrix=observable_matrix,
+        num_data_mechanisms=num_data_mechanisms,
+    )
+
+
+def build_phenomenological_model(code: CSSCode, noise: HardwareNoiseModel,
+                                 rounds: int, basis: str = "Z",
+                                 structure: SpacetimeStructure | None = None
+                                 ) -> PhenomenologicalModel:
+    """Construct the space-time decoding model for a memory experiment.
+
+    ``structure`` may carry a previously built
+    :class:`SpacetimeStructure` for this (code, rounds, basis) triple to
+    skip re-assembling the matrices.
+    """
+    if structure is None:
+        structure = build_spacetime_structure(code, rounds, basis)
+    elif (structure.rounds != rounds or structure.basis != basis
+          or structure.code is not code):
+        raise ValueError("structure does not match the requested model")
+    data_rate, measurement_rate = effective_error_rates(code, noise, basis)
 
     return PhenomenologicalModel(
         code=code,
@@ -165,7 +252,8 @@ def build_phenomenological_model(code: CSSCode, noise: HardwareNoiseModel,
         rounds=rounds,
         data_error_rate=data_rate,
         measurement_error_rate=measurement_rate,
-        check_matrix=check_matrix,
-        observable_matrix=observable_matrix,
-        priors=priors,
+        check_matrix=structure.check_matrix,
+        observable_matrix=structure.observable_matrix,
+        priors=structure.priors_for(data_rate, measurement_rate),
+        structure=structure,
     )

@@ -24,7 +24,8 @@ def sweep_physical_error(code: CSSCode, round_latency_us: float,
                          physical_error_rates: Iterable[float],
                          shots: int = 200, rounds: int | None = None,
                          method: str = "phenomenological",
-                         label: str = "", seed: int = 0) -> ResultTable:
+                         label: str = "", seed: int = 0,
+                         backend: str = "packed") -> ResultTable:
     """Logical error rate vs physical error rate at a fixed latency."""
     table = ResultTable(
         title=f"LER sweep: {code.name} ({label or 'latency ' + str(round_latency_us) + ' us'})",
@@ -32,7 +33,7 @@ def sweep_physical_error(code: CSSCode, round_latency_us: float,
                  "logical_error_rate", "ler_per_round"],
     )
     experiment = MemoryExperiment(code=code, rounds=rounds, method=method,
-                                  seed=seed)
+                                  seed=seed, backend=backend)
     for p in physical_error_rates:
         result = experiment.run(p, round_latency_us, shots=shots)
         table.add_row(
@@ -60,6 +61,12 @@ def sweep_architectures(code: CSSCode, codesigns: Sequence[Codesign],
     table = ResultTable(
         title=f"Architecture sweep: {code.name}", columns=columns,
     )
+    experiment = None
+    if physical_error_rate is not None:
+        # One cached experiment serves every codesign: only the latency
+        # (and hence the priors) changes between operating points.
+        experiment = MemoryExperiment(code=code, rounds=rounds,
+                                      method=method, seed=seed)
     for codesign in codesigns:
         compiled = codesign.compile(code)
         cost = spacetime_cost(compiled)
@@ -74,8 +81,6 @@ def sweep_architectures(code: CSSCode, codesigns: Sequence[Codesign],
             "parallelization": compiled.parallelization_fraction,
         }
         if physical_error_rate is not None:
-            experiment = MemoryExperiment(code=code, rounds=rounds,
-                                          method=method, seed=seed)
             result = experiment.run(
                 physical_error_rate, compiled.execution_time_us, shots=shots
             )

@@ -40,20 +40,16 @@ class BeliefPropagationDecoder:
 
     def __init__(self, check_matrix: np.ndarray, priors: np.ndarray,
                  max_iterations: int = 50, scaling_factor: float = 0.75,
-                 clip_llr: float = 30.0) -> None:
+                 clip_llr: float = 30.0, active_set: bool = False) -> None:
         check_matrix = np.asarray(check_matrix, dtype=np.uint8)
-        priors = np.asarray(priors, dtype=float)
         if check_matrix.ndim != 2:
             raise ValueError("check matrix must be 2-D")
-        if priors.shape[0] != check_matrix.shape[1]:
-            raise ValueError("need one prior per check-matrix column")
-        if np.any(priors <= 0) or np.any(priors >= 1):
-            priors = np.clip(priors, 1e-12, 1 - 1e-12)
         self.check_matrix = check_matrix
-        self.priors = priors
         self.max_iterations = int(max_iterations)
         self.scaling_factor = float(scaling_factor)
         self.clip_llr = float(clip_llr)
+        self.active_set = bool(active_set)
+        self.update_priors(priors)
 
         checks, variables = np.nonzero(check_matrix)
         order = np.lexsort((variables, checks))
@@ -64,8 +60,6 @@ class BeliefPropagationDecoder:
         self._check_starts = np.searchsorted(
             self._edge_check, np.arange(check_matrix.shape[0])
         )
-        self._prior_llrs = np.log((1 - priors) / priors)
-        self._prior_llrs = np.clip(self._prior_llrs, -clip_llr, clip_llr)
         # Sparse edge -> variable incidence used to accumulate messages.
         self._edge_to_var = sparse.csr_matrix(
             (
@@ -86,6 +80,24 @@ class BeliefPropagationDecoder:
         return int(self.check_matrix.shape[1])
 
     # ------------------------------------------------------------------
+    def update_priors(self, priors: np.ndarray) -> None:
+        """Swap in new per-mechanism priors without rebuilding the graph.
+
+        The Tanner-graph edge structure depends only on the check matrix,
+        so sweeps that vary operating points (latency, physical error
+        rate) can reuse one decoder and merely refresh the prior LLRs.
+        """
+        priors = np.asarray(priors, dtype=float)
+        if priors.shape[0] != self.check_matrix.shape[1]:
+            raise ValueError("need one prior per check-matrix column")
+        if np.any(priors <= 0) or np.any(priors >= 1):
+            priors = np.clip(priors, 1e-12, 1 - 1e-12)
+        self.priors = priors
+        self._prior_llrs = np.clip(
+            np.log((1 - priors) / priors), -self.clip_llr, self.clip_llr
+        )
+
+    # ------------------------------------------------------------------
     def decode_batch(self, syndromes: np.ndarray) -> BPResult:
         """Decode a batch of syndromes (shape ``(shots, num_checks)``)."""
         syndromes = np.atleast_2d(np.asarray(syndromes)).astype(bool)
@@ -104,21 +116,29 @@ class BeliefPropagationDecoder:
         edge_check = self._edge_check
         starts = self._check_starts
         prior = self._prior_llrs
+        active_set = self.active_set
 
-        # Messages variable -> check, initialised with the priors.
+        # Messages variable -> check, initialised with the priors.  With
+        # the active-set optimisation these arrays only ever hold rows
+        # for the still-unconverged shots.
         var_to_check = np.tile(prior[edge_var], (shots, 1))
-        check_to_var = np.zeros_like(var_to_check)
         syndrome_signs = np.where(syndromes, -1.0, 1.0)  # (shots, checks)
 
-        posterior = np.tile(prior, (shots, 1))
-        errors = np.zeros((shots, self.num_mechanisms), dtype=np.uint8)
-        converged = np.zeros(shots, dtype=bool)
+        errors_out = np.zeros((shots, self.num_mechanisms), dtype=np.uint8)
+        posterior_out = np.tile(prior, (shots, 1))
+        converged_out = np.zeros(shots, dtype=bool)
+        active = np.arange(shots)
         iterations_used = 0
 
         for iteration in range(1, self.max_iterations + 1):
             iterations_used = iteration
+            # Only the active-set path pays for subsetting; the reference
+            # path always works on the full arrays.
+            signs_active = syndrome_signs[active] if active_set else syndrome_signs
+            syndromes_active = syndromes[active] if active_set else syndromes
             check_to_var = self._check_update(
-                var_to_check, syndrome_signs, edge_check, starts, shots
+                var_to_check, signs_active, edge_check, starts,
+                active.shape[0]
             )
             # Variable update: total posterior and extrinsic messages.
             accumulated = (self._edge_to_var @ check_to_var.T).T
@@ -129,14 +149,40 @@ class BeliefPropagationDecoder:
 
             errors = (posterior < 0).astype(np.uint8)
             achieved = (self._sparse_check @ errors.T).T % 2
-            converged = np.all(achieved.astype(bool) == syndromes, axis=1)
-            if converged.all():
-                break
+            satisfied = np.all(achieved.astype(bool) == syndromes_active,
+                               axis=1)
+
+            if active_set:
+                # Converged shots freeze at their first consistent state
+                # and drop out of all further message passing.
+                done = active[satisfied]
+                errors_out[done] = errors[satisfied]
+                posterior_out[done] = posterior[satisfied]
+                converged_out[done] = True
+                keep = ~satisfied
+                if iteration == self.max_iterations:
+                    # Last chance: report the final state of the shots
+                    # that never converged.
+                    rest = active[keep]
+                    errors_out[rest] = errors[keep]
+                    posterior_out[rest] = posterior[keep]
+                active = active[keep]
+                if active.size == 0:
+                    break
+                var_to_check = var_to_check[keep]
+            else:
+                # Reference semantics: every shot keeps iterating and the
+                # final iteration's state is reported for all of them.
+                errors_out = errors
+                posterior_out = posterior
+                converged_out = satisfied
+                if satisfied.all():
+                    break
 
         return BPResult(
-            errors=errors,
-            converged=converged,
-            posterior_llrs=posterior,
+            errors=errors_out,
+            converged=converged_out,
+            posterior_llrs=posterior_out,
             iterations=iterations_used,
         )
 

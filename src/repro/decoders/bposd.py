@@ -8,6 +8,14 @@ produces a valid correction that matches the syndrome exactly.  OSD-0
 keeps the non-pivot columns at zero; OSD-E additionally tries all
 low-weight patterns on the ``osd_order`` least-reliable non-pivot
 columns and keeps the most likely consistent solution.
+
+Two backends are provided.  ``backend="packed"`` (default) runs BP with
+an active-set mask (converged shots drop out of message passing) and
+OSD-E with a single Gauss-Jordan factorization per shot that is reused
+across all ``2**osd_order`` trial patterns.  ``backend="bool"`` is the
+reference implementation: full-batch BP and a fresh elimination per
+trial pattern.  Both return identical corrections for identical BP soft
+output.
 """
 
 from __future__ import annotations
@@ -43,13 +51,21 @@ class BPOSDDecoder:
 
     def __init__(self, check_matrix: np.ndarray, priors: np.ndarray,
                  max_iterations: int = 50, osd_order: int = 0,
-                 scaling_factor: float = 0.75) -> None:
+                 scaling_factor: float = 0.75,
+                 backend: str = "packed", block_shots: int = 2048) -> None:
+        if backend not in ("packed", "bool"):
+            raise ValueError("backend must be 'packed' or 'bool'")
+        if block_shots < 1:
+            raise ValueError("block_shots must be positive")
         self.check_matrix = np.asarray(check_matrix, dtype=np.uint8)
         self.priors = np.asarray(priors, dtype=float)
         self.osd_order = int(osd_order)
+        self.backend = backend
+        self.block_shots = int(block_shots)
         self._bp = BeliefPropagationDecoder(
             self.check_matrix, self.priors,
             max_iterations=max_iterations, scaling_factor=scaling_factor,
+            active_set=(backend == "packed"),
         )
         self._packed = PackedGF2Matrix(self.check_matrix)
 
@@ -62,16 +78,48 @@ class BPOSDDecoder:
         return int(self.check_matrix.shape[1])
 
     # ------------------------------------------------------------------
+    def update_priors(self, priors: np.ndarray) -> None:
+        """Refresh the per-mechanism priors, keeping all decode structure.
+
+        The Tanner graph, sparse incidence matrices and packed check
+        matrix depend only on the check matrix, so operating-point
+        sweeps can reuse one decoder instance across points.
+        """
+        self.priors = np.asarray(priors, dtype=float)
+        self._bp.update_priors(self.priors)
+
+    # ------------------------------------------------------------------
     def decode_batch(self, syndromes: np.ndarray) -> DecodeResult:
-        """Decode a batch of syndromes, OSD-completing BP failures."""
+        """Decode a batch of syndromes, OSD-completing BP failures.
+
+        The packed backend decodes in blocks of ``block_shots`` shots so
+        BP's ``(shots, edges)`` message temporaries stay memory-bounded;
+        shots are decoded independently, so blocking never changes the
+        result.  The boolean reference backend processes the whole batch
+        at once, as the seed implementation did.
+        """
         syndromes = np.atleast_2d(np.asarray(syndromes)).astype(np.uint8)
-        bp_result = self._bp.decode_batch(syndromes)
-        errors = bp_result.errors.copy()
-        for shot in np.nonzero(~bp_result.converged)[0]:
-            errors[shot] = self._osd_single(
-                syndromes[shot], bp_result.posterior_llrs[shot]
+        shots = syndromes.shape[0]
+        block = self.block_shots if self.backend == "packed" else max(shots, 1)
+        errors_parts = []
+        converged_parts = []
+        for start in range(0, shots, block):
+            stop = start + block
+            bp_result = self._bp.decode_batch(syndromes[start:stop])
+            errors = bp_result.errors.copy()
+            for shot in np.nonzero(~bp_result.converged)[0]:
+                errors[shot] = self._osd_single(
+                    syndromes[start + shot], bp_result.posterior_llrs[shot]
+                )
+            errors_parts.append(errors)
+            converged_parts.append(bp_result.converged)
+        if not errors_parts:  # shots == 0
+            return DecodeResult(
+                errors=np.zeros((0, self.num_mechanisms), dtype=np.uint8),
+                bp_converged=np.zeros(0, dtype=bool),
             )
-        return DecodeResult(errors=errors, bp_converged=bp_result.converged)
+        return DecodeResult(errors=np.concatenate(errors_parts),
+                            bp_converged=np.concatenate(converged_parts))
 
     def decode(self, syndrome: np.ndarray) -> np.ndarray:
         """Decode a single syndrome vector."""
@@ -82,6 +130,11 @@ class BPOSDDecoder:
                     posterior_llrs: np.ndarray) -> np.ndarray:
         # Most-likely-to-be-flipped first: ascending LLR.
         column_order = np.argsort(posterior_llrs, kind="stable")
+        if self.backend == "packed" and self.osd_order > 0:
+            # Only OSD-E benefits from a reusable factorization; OSD-0
+            # solves exactly once, where the direct elimination is
+            # cheaper (no row-transform accumulation).
+            return self._osd_factored(syndrome, posterior_llrs, column_order)
         try:
             solution = self._packed.gauss_jordan_solve(column_order, syndrome)
         except ValueError:
@@ -94,13 +147,62 @@ class BPOSDDecoder:
         return self._osd_exhaustive(syndrome, posterior_llrs, column_order,
                                     solution)
 
-    def _osd_exhaustive(self, syndrome, posterior_llrs, column_order,
-                        base_solution) -> np.ndarray:
-        """OSD-E: exhaust low-weight patterns on the least reliable
-        non-pivot columns and keep the most probable consistent solution."""
+    # ------------------------------------------------------------------
+    def _osd_factored(self, syndrome: np.ndarray,
+                      posterior_llrs: np.ndarray,
+                      column_order: np.ndarray) -> np.ndarray:
+        """OSD with one elimination per shot, shared by all trial patterns."""
+        factor = self._packed.factorize(column_order)
+        reduced = factor.reduce_syndrome(syndrome)
+        try:
+            base_solution = factor.solution_from_reduced(reduced)
+        except ValueError:
+            # Inconsistent system: same fallback as the reference path.
+            return (posterior_llrs < 0).astype(np.uint8)
+        if self.osd_order <= 0:
+            return base_solution
+
+        log_like = self._osd_log_likelihoods(posterior_llrs)
+
+        best = base_solution
+        best_score = float(base_solution @ log_like)
+        non_pivot = [c for c in column_order if base_solution[c] == 0]
+        trial_columns = non_pivot[: self.osd_order]
+        # Flipping column c XORs H[:, c] into the syndrome; in the
+        # reduced basis that is the reduced column T @ H[:, c], so each
+        # trial solve is a handful of XORs instead of an elimination.
+        reduced_columns = [factor.reduced_column(c) for c in trial_columns]
+        for pattern in range(1, 2 ** len(trial_columns)):
+            trial_reduced = reduced.copy()
+            flip_columns = []
+            for bit, column in enumerate(trial_columns):
+                if (pattern >> bit) & 1:
+                    flip_columns.append(column)
+                    trial_reduced ^= reduced_columns[bit]
+            try:
+                candidate = factor.solution_from_reduced(trial_reduced)
+            except ValueError:
+                continue
+            for column in flip_columns:
+                candidate[column] ^= 1
+            score = float(candidate @ log_like)
+            if score > best_score:
+                best_score = score
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _osd_log_likelihoods(posterior_llrs: np.ndarray) -> np.ndarray:
         probabilities = 1.0 / (1.0 + np.exp(posterior_llrs))
         probabilities = np.clip(probabilities, 1e-12, 1 - 1e-12)
-        log_like = np.log(probabilities / (1 - probabilities))
+        return np.log(probabilities / (1 - probabilities))
+
+    def _osd_exhaustive(self, syndrome, posterior_llrs, column_order,
+                        base_solution) -> np.ndarray:
+        """OSD-E reference: exhaust low-weight patterns on the least
+        reliable non-pivot columns, re-eliminating per trial pattern."""
+        log_like = self._osd_log_likelihoods(posterior_llrs)
 
         def solution_score(solution: np.ndarray) -> float:
             return float(solution @ log_like)
@@ -119,7 +221,7 @@ class BPOSDDecoder:
                 trial_syndrome ^= self.check_matrix[:, column]
             try:
                 partial = self._packed.gauss_jordan_solve(
-                    np.argsort(posterior_llrs, kind="stable"), trial_syndrome
+                    column_order, trial_syndrome
                 )
             except ValueError:
                 continue

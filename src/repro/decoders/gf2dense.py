@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["PackedGF2Matrix"]
+__all__ = ["PackedGF2Matrix", "GF2Factorization"]
 
 
 class PackedGF2Matrix:
@@ -44,42 +44,134 @@ class PackedGF2Matrix:
         if syndrome.shape[0] != self.num_rows:
             raise ValueError("syndrome length does not match row count")
 
-        pivot_rows: list[int] = []
-        pivot_cols: list[int] = []
-        next_pivot_row = 0
-        row_indices = np.arange(self.num_rows)
-
-        for column in column_order:
-            if next_pivot_row >= self.num_rows:
-                break
-            byte_index = column // 8
-            shift = 7 - (column % 8)
-            column_bits = (packed[:, byte_index] >> shift) & 1
-            candidates = np.nonzero(column_bits[next_pivot_row:])[0]
-            if candidates.size == 0:
-                continue
-            pivot = next_pivot_row + int(candidates[0])
-            if pivot != next_pivot_row:
-                packed[[next_pivot_row, pivot]] = packed[[pivot, next_pivot_row]]
-                syndrome[[next_pivot_row, pivot]] = (
-                    syndrome[[pivot, next_pivot_row]]
-                )
-            column_bits = (packed[:, byte_index] >> shift) & 1
-            eliminate = row_indices[
-                (column_bits == 1) & (row_indices != next_pivot_row)
-            ]
-            if eliminate.size:
-                packed[eliminate] ^= packed[next_pivot_row]
-                syndrome[eliminate] ^= syndrome[next_pivot_row]
-            pivot_rows.append(next_pivot_row)
-            pivot_cols.append(int(column))
-            next_pivot_row += 1
+        rank, pivot_cols = _gauss_jordan(packed, syndrome, column_order)
 
         # Remaining rows must have zero syndrome for consistency.
-        if next_pivot_row < self.num_rows and syndrome[next_pivot_row:].any():
+        if rank < self.num_rows and syndrome[rank:].any():
             raise ValueError("inconsistent linear system over GF(2)")
 
         solution = np.zeros(self.num_cols, dtype=np.uint8)
-        for row, column in zip(pivot_rows, pivot_cols):
-            solution[column] = syndrome[row]
+        solution[pivot_cols] = syndrome[:rank]
         return solution
+
+    def factorize(self, column_order: np.ndarray) -> "GF2Factorization":
+        """Eliminate once under ``column_order`` for repeated solves.
+
+        Pivot selection depends only on the matrix and the column order,
+        never on the right-hand side, so OSD-E can factor once per shot
+        and reuse the factorization across all trial syndromes instead
+        of re-eliminating from scratch for each pattern.
+        """
+        return GF2Factorization(self, column_order)
+
+
+def _gauss_jordan(packed: np.ndarray, carry: np.ndarray,
+                  column_order: np.ndarray) -> tuple[int, list[int]]:
+    """In-place Gauss-Jordan elimination on a column-packed matrix.
+
+    Visits columns in ``column_order``; every row swap and row XOR is
+    mirrored onto ``carry`` (a syndrome vector for a one-off solve, or
+    the packed identity when accumulating the row transform of a
+    factorization).  Returns ``(rank, pivot_cols)``; pivot ``i`` lives
+    in row ``i``.
+    """
+    num_rows = packed.shape[0]
+    pivot_cols: list[int] = []
+    next_pivot_row = 0
+    row_indices = np.arange(num_rows)
+
+    for column in column_order:
+        if next_pivot_row >= num_rows:
+            break
+        byte_index = column // 8
+        shift = 7 - (column % 8)
+        column_bits = (packed[:, byte_index] >> shift) & 1
+        candidates = np.nonzero(column_bits[next_pivot_row:])[0]
+        if candidates.size == 0:
+            continue
+        pivot = next_pivot_row + int(candidates[0])
+        if pivot != next_pivot_row:
+            packed[[next_pivot_row, pivot]] = packed[[pivot, next_pivot_row]]
+            carry[[next_pivot_row, pivot]] = carry[[pivot, next_pivot_row]]
+        column_bits = (packed[:, byte_index] >> shift) & 1
+        eliminate = row_indices[
+            (column_bits == 1) & (row_indices != next_pivot_row)
+        ]
+        if eliminate.size:
+            packed[eliminate] ^= packed[next_pivot_row]
+            carry[eliminate] ^= carry[next_pivot_row]
+        pivot_cols.append(int(column))
+        next_pivot_row += 1
+
+    return next_pivot_row, pivot_cols
+
+
+class GF2Factorization:
+    """A Gauss-Jordan factorization of a packed GF(2) matrix.
+
+    Stores the reduced matrix ``R = T @ M`` (columns packed 8 per byte)
+    together with the row-operation transform ``T`` (also bit-packed),
+    the pivot columns in elimination order, and the rank.  Solving
+    ``M x = s`` for any ``s`` is then two cheap steps: reduce the
+    syndrome (``y = T s``), check consistency of the rows below the
+    rank, and read the pivot values off ``y``.
+    """
+
+    def __init__(self, matrix: PackedGF2Matrix, column_order: np.ndarray) -> None:
+        self.num_rows = matrix.num_rows
+        self.num_cols = matrix.num_cols
+        reduced = matrix._packed.copy()
+        transform = np.packbits(np.identity(self.num_rows, dtype=np.uint8),
+                                axis=1)
+        rank, pivot_cols = _gauss_jordan(reduced, transform, column_order)
+        self._reduced = reduced
+        self._transform = transform
+        self.rank = rank
+        self.pivot_cols = np.array(pivot_cols, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    def reduce_syndrome(self, syndrome: np.ndarray) -> np.ndarray:
+        """Apply the stored row transform: ``T @ syndrome`` over GF(2)."""
+        syndrome = np.asarray(syndrome, dtype=np.uint8)
+        if syndrome.shape[0] != self.num_rows:
+            raise ValueError("syndrome length does not match row count")
+        packed_syndrome = np.packbits(syndrome)
+        anded = self._transform & packed_syndrome[np.newaxis, :]
+        counts = _popcount_bytes(anded).sum(axis=1)
+        return (counts & 1).astype(np.uint8)
+
+    def reduced_column(self, column: int) -> np.ndarray:
+        """Bits of column ``column`` of the reduced matrix ``T @ M``."""
+        column = int(column)
+        byte_index = column // 8
+        shift = 7 - (column % 8)
+        return ((self._reduced[:, byte_index] >> shift) & 1).astype(np.uint8)
+
+    def solution_from_reduced(self, reduced_syndrome: np.ndarray) -> np.ndarray:
+        """OSD-0 solution for an already-reduced syndrome.
+
+        Raises ``ValueError`` when rows beyond the rank carry non-zero
+        reduced syndrome (inconsistent system) — matching
+        :meth:`PackedGF2Matrix.gauss_jordan_solve` exactly.
+        """
+        if self.rank < self.num_rows and reduced_syndrome[self.rank:].any():
+            raise ValueError("inconsistent linear system over GF(2)")
+        solution = np.zeros(self.num_cols, dtype=np.uint8)
+        solution[self.pivot_cols] = reduced_syndrome[:self.rank]
+        return solution
+
+    def solve(self, syndrome: np.ndarray) -> np.ndarray:
+        """Solve ``M x = syndrome``; identical output to a fresh
+        Gauss-Jordan elimination under the same column order."""
+        return self.solution_from_reduced(self.reduce_syndrome(syndrome))
+
+
+if hasattr(np, "bitwise_count"):
+    def _popcount_bytes(values: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(values)
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _BYTE_POPCOUNT = np.array([bin(i).count("1") for i in range(256)],
+                              dtype=np.uint8)
+
+    def _popcount_bytes(values: np.ndarray) -> np.ndarray:
+        return _BYTE_POPCOUNT[values]

@@ -19,6 +19,17 @@ from repro.linalg.gf2 import (
     is_in_row_space,
     row_reduce_mod2,
 )
+from repro.linalg.bitops import (
+    WORD_BITS,
+    num_words,
+    pack_bits,
+    unpack_bits,
+    popcount,
+    parity,
+    xor_reduce,
+    xor_accumulate,
+    packed_matmul,
+)
 
 __all__ = [
     "gf2_matrix",
@@ -31,4 +42,13 @@ __all__ = [
     "kernel_intersection_complement",
     "is_in_row_space",
     "row_reduce_mod2",
+    "WORD_BITS",
+    "num_words",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "parity",
+    "xor_reduce",
+    "xor_accumulate",
+    "packed_matmul",
 ]

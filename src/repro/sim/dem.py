@@ -127,8 +127,39 @@ def _faults_for_instruction(index: int, ins: Instruction) -> list[_ElementaryFau
     return faults
 
 
-def detector_error_model(circuit: Circuit,
-                         merge: bool = True) -> DetectorErrorModel:
+def _propagate_signatures(circuit: Circuit, faults: list[_ElementaryFault],
+                          backend: str, chunk_shots: int):
+    """Yield ``(faults_chunk, detector_bits, observable_bits)`` blocks.
+
+    The boolean reference backend propagates every fault in one dense
+    pass (one shot row per fault), which materialises an
+    ``O(faults x measurements)`` boolean array.  The packed backend
+    instead walks the fault list in chunks of ``chunk_shots`` faults,
+    each propagated as 64-fault words, so peak memory is bounded by the
+    chunk size regardless of how many mechanisms the circuit has.
+    """
+    if backend == "bool":
+        chunk_shots = len(faults)
+    for start in range(0, len(faults), chunk_shots):
+        chunk = faults[start:start + chunk_shots]
+        injections = [
+            FaultInjection(
+                instruction_index=fault.instruction_index,
+                shot=shot,
+                x_flips=fault.x_flips,
+                z_flips=fault.z_flips,
+                measurement_flip=fault.measurement_flip,
+            )
+            for shot, fault in enumerate(chunk)
+        ]
+        simulator = FrameSimulator(circuit, backend=backend)
+        result = simulator.propagate_faults(injections, shots=len(chunk))
+        yield chunk, result.detectors, result.observables
+
+
+def detector_error_model(circuit: Circuit, merge: bool = True,
+                         backend: str = "packed",
+                         chunk_shots: int = 2048) -> DetectorErrorModel:
     """Extract the detector error model of a noisy circuit.
 
     Parameters
@@ -139,37 +170,40 @@ def detector_error_model(circuit: Circuit,
         Merge mechanisms with identical detector/observable signatures
         (default).  Disabling the merge keeps one column per elementary
         fault, which is occasionally useful for debugging.
+    backend:
+        ``"packed"`` (default) propagates faults 64 per machine word in
+        bounded-memory chunks; ``"bool"`` is the dense boolean reference
+        path.  Both produce identical models.
+    chunk_shots:
+        Faults propagated per packed block (ignored by ``"bool"``).
     """
+    if backend not in ("packed", "bool"):
+        raise ValueError("backend must be 'packed' or 'bool'")
+    if chunk_shots < 1:
+        raise ValueError("chunk_shots must be positive")
     faults = _enumerate_faults(circuit)
     num_detectors = circuit.num_detectors
     num_observables = circuit.num_observables
 
+    empty = DetectorErrorModel(
+        check_matrix=np.zeros((num_detectors, 0), dtype=np.uint8),
+        observable_matrix=np.zeros((num_observables, 0), dtype=np.uint8),
+        priors=np.zeros(0, dtype=float),
+    )
     if not faults:
-        return DetectorErrorModel(
-            check_matrix=np.zeros((num_detectors, 0), dtype=np.uint8),
-            observable_matrix=np.zeros((num_observables, 0), dtype=np.uint8),
-            priors=np.zeros(0, dtype=float),
-        )
+        return empty
 
-    injections = [
-        FaultInjection(
-            instruction_index=fault.instruction_index,
-            shot=shot,
-            x_flips=fault.x_flips,
-            z_flips=fault.z_flips,
-            measurement_flip=fault.measurement_flip,
-        )
-        for shot, fault in enumerate(faults)
-    ]
-    simulator = FrameSimulator(circuit)
-    result = simulator.propagate_faults(injections, shots=len(faults))
-    detector_signatures = result.detectors  # (faults, detectors)
-    observable_signatures = result.observables  # (faults, observables)
+    blocks = _propagate_signatures(circuit, faults, backend, chunk_shots)
 
     if not merge:
+        detector_columns = []
+        observable_columns = []
+        for _, detector_bits, observable_bits in blocks:
+            detector_columns.append(detector_bits.T.astype(np.uint8))
+            observable_columns.append(observable_bits.T.astype(np.uint8))
         return DetectorErrorModel(
-            check_matrix=detector_signatures.T.astype(np.uint8),
-            observable_matrix=observable_signatures.T.astype(np.uint8),
+            check_matrix=np.hstack(detector_columns),
+            observable_matrix=np.hstack(observable_columns),
             priors=np.array([fault.probability for fault in faults]),
         )
 
@@ -177,30 +211,30 @@ def detector_error_model(circuit: Circuit,
     columns_detectors: list[np.ndarray] = []
     columns_observables: list[np.ndarray] = []
     priors: list[float] = []
-    for fault_index, fault in enumerate(faults):
-        detector_bits = detector_signatures[fault_index]
-        observable_bits = observable_signatures[fault_index]
-        if not detector_bits.any() and not observable_bits.any():
-            continue  # Fault with no effect on any detector or observable.
-        key = detector_bits.tobytes() + b"|" + observable_bits.tobytes()
-        if key in merged:
-            position = merged[key]
-            existing = priors[position]
-            new = fault.probability
-            # Probability that an odd number of the merged faults fires.
-            priors[position] = existing * (1 - new) + new * (1 - existing)
-        else:
-            merged[key] = len(priors)
-            columns_detectors.append(detector_bits)
-            columns_observables.append(observable_bits)
-            priors.append(fault.probability)
+    for chunk, detector_signatures, observable_signatures in blocks:
+        for fault_index, fault in enumerate(chunk):
+            detector_bits = detector_signatures[fault_index]
+            observable_bits = observable_signatures[fault_index]
+            if not detector_bits.any() and not observable_bits.any():
+                continue  # Fault with no effect on any detector or observable.
+            key = detector_bits.tobytes() + b"|" + observable_bits.tobytes()
+            if key in merged:
+                position = merged[key]
+                existing = priors[position]
+                new = fault.probability
+                # Probability that an odd number of the merged faults fires.
+                priors[position] = existing * (1 - new) + new * (1 - existing)
+            else:
+                merged[key] = len(priors)
+                # Copy: the bits are views into the chunk's signature
+                # block, and keeping views alive would pin every chunk's
+                # full array, defeating the chunked memory bound.
+                columns_detectors.append(detector_bits.copy())
+                columns_observables.append(observable_bits.copy())
+                priors.append(fault.probability)
 
     if not priors:
-        return DetectorErrorModel(
-            check_matrix=np.zeros((num_detectors, 0), dtype=np.uint8),
-            observable_matrix=np.zeros((num_observables, 0), dtype=np.uint8),
-            priors=np.zeros(0, dtype=float),
-        )
+        return empty
 
     check_matrix = np.array(columns_detectors, dtype=np.uint8).T
     observable_matrix = np.array(columns_observables, dtype=np.uint8).T

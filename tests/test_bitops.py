@@ -1,0 +1,113 @@
+"""Tests for the word-packed GF(2) kernels in ``repro.linalg.bitops``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.bitops import (
+    WORD_BITS,
+    bit_mask,
+    num_words,
+    pack_bits,
+    unpack_bits,
+    packed_matmul,
+    parity,
+    popcount,
+    xor_accumulate,
+    xor_reduce,
+)
+
+
+class TestPackRoundTrip:
+    @given(st.integers(0, 2 ** 31), st.integers(1, 200), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_axis0(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (rows, cols)).astype(bool)
+        packed = pack_bits(bits, axis=0)
+        assert packed.shape == (num_words(rows), cols)
+        assert np.array_equal(unpack_bits(packed, rows, axis=0), bits)
+
+    @given(st.integers(0, 2 ** 31), st.integers(1, 5), st.integers(1, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_axis1(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (rows, cols)).astype(bool)
+        packed = pack_bits(bits, axis=1)
+        assert packed.shape == (rows, num_words(cols))
+        assert np.array_equal(unpack_bits(packed, cols, axis=1), bits)
+
+    def test_bit_convention_lsb_first(self):
+        # Element j of the packed axis must land in bit j of word j // 64.
+        bits = np.zeros(130, dtype=bool)
+        bits[[0, 63, 64, 129]] = True
+        packed = pack_bits(bits)
+        assert packed[0] == (1 | (1 << 63))
+        assert packed[1] == 1
+        assert packed[2] == 2
+        assert bit_mask(129) == np.uint64(2)
+
+    def test_padding_bits_are_zero(self):
+        packed = pack_bits(np.ones(70, dtype=bool))
+        assert popcount(packed).sum() == 70
+
+    def test_word_count(self):
+        assert num_words(0) == 0
+        assert num_words(1) == 1
+        assert num_words(WORD_BITS) == 1
+        assert num_words(WORD_BITS + 1) == 2
+
+
+class TestWordKernels:
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=30, deadline=None)
+    def test_popcount_matches_python(self, seed):
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2 ** 63, size=8, dtype=np.uint64)
+        expected = [bin(int(w)).count("1") for w in words]
+        assert popcount(words).tolist() == expected
+
+    def test_parity(self):
+        bits = np.array([[1, 1, 1], [1, 0, 1]], dtype=bool)
+        packed = pack_bits(bits, axis=1)
+        assert parity(packed, axis=1).tolist() == [1, 0]
+
+    def test_xor_reduce_and_accumulate(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, (5, 100)).astype(bool)
+        packed = pack_bits(bits, axis=1)
+        reduced = xor_reduce(packed, axis=0)
+        expected = np.bitwise_xor.reduce(bits, axis=0)
+        assert np.array_equal(unpack_bits(reduced, 100), expected)
+        acc = packed[0].copy()
+        xor_accumulate(acc, packed[1])
+        assert np.array_equal(unpack_bits(acc, 100), bits[0] ^ bits[1])
+
+    @given(st.integers(0, 2 ** 31), st.integers(1, 40), st.integers(1, 40),
+           st.integers(1, 150))
+    @settings(max_examples=40, deadline=None)
+    def test_packed_matmul_matches_dense(self, seed, m, n, k):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, (m, k), dtype=np.uint8)
+        b = rng.integers(0, 2, (n, k), dtype=np.uint8)
+        product = packed_matmul(pack_bits(a, axis=1), pack_bits(b, axis=1))
+        assert np.array_equal(product, (a @ b.T) % 2)
+
+    def test_packed_matmul_validates_shapes(self):
+        with pytest.raises(ValueError):
+            packed_matmul(np.zeros((2, 3), dtype=np.uint64),
+                          np.zeros((2, 4), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            packed_matmul(np.zeros(3, dtype=np.uint64),
+                          np.zeros((2, 3), dtype=np.uint64))
+
+    def test_packed_matmul_chunking(self):
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, 2, (700, 65), dtype=np.uint8)
+        b = rng.integers(0, 2, (3, 65), dtype=np.uint8)
+        product = packed_matmul(pack_bits(a, axis=1), pack_bits(b, axis=1),
+                                chunk=128)
+        assert np.array_equal(product, (a @ b.T) % 2)
