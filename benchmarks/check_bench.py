@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Performance regression gate against the committed ``BENCH_sim.json``.
+
+Re-measures the headline end-to-end memory experiment (packed backend,
+same operating point as ``perf_smoke.py``) and fails — exit code 1 —
+when its throughput (shots/second) drops more than the tolerance below
+the committed baseline.  Intended to run alongside the tier-1 tests
+whenever a hot path is touched::
+
+    PYTHONPATH=src python benchmarks/check_bench.py
+
+Knobs (environment variables):
+
+* ``REPRO_CHECK_SHOTS``     — fresh-measurement shot budget (default:
+  the baseline's ``memory_experiment_shots``; throughput normalises the
+  comparison, so a smaller budget still gates, just noisier)
+* ``REPRO_CHECK_TOLERANCE`` — allowed fractional drop (default 0.30)
+* ``REPRO_CHECK_WORKERS``   — workers for the fresh run (default 1,
+  matching how the baseline's packed end-to-end number is measured)
+
+Exit codes: 0 pass, 1 throughput regression, 2 missing/invalid baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from perf_smoke import OUTPUT_PATH, time_memory_experiment
+
+
+def _float_env(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def main() -> int:
+    if not OUTPUT_PATH.exists():
+        print(f"no baseline at {OUTPUT_PATH}; run "
+              "`PYTHONPATH=src python benchmarks/perf_smoke.py` first",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(OUTPUT_PATH.read_text())
+    try:
+        baseline_shots = baseline["budgets"]["memory_experiment_shots"]
+        baseline_seconds = (
+            baseline["sections"]["memory_experiment"]["packed_seconds"]
+        )
+    except KeyError as missing:
+        print(f"baseline {OUTPUT_PATH} lacks {missing}; re-run perf_smoke",
+              file=sys.stderr)
+        return 2
+    baseline_throughput = baseline_shots / baseline_seconds
+
+    tolerance = _float_env("REPRO_CHECK_TOLERANCE", 0.30)
+    shots = int(_float_env("REPRO_CHECK_SHOTS", baseline_shots))
+    workers = int(_float_env("REPRO_CHECK_WORKERS", 1))
+
+    print(f"measuring end-to-end packed throughput ({shots} shots, "
+          f"workers={workers})...", flush=True)
+    # Warm the structure/decoder caches first so a reduced shot budget
+    # measures steady-state throughput, not fixed setup cost.  The
+    # committed baseline is a cold run, whose throughput is slightly
+    # *below* steady state — the floor derived from it is conservative
+    # in the direction that never fails spuriously.
+    seconds, _ = time_memory_experiment(shots, workers=workers,
+                                        warmup_shots=min(1000, shots))
+    throughput = shots / seconds
+    floor = (1.0 - tolerance) * baseline_throughput
+
+    print(f"baseline : {baseline_throughput:10.0f} shots/s "
+          f"({baseline_shots} shots in {baseline_seconds:.2f}s, "
+          f"committed {baseline.get('generated', '?')})")
+    print(f"measured : {throughput:10.0f} shots/s "
+          f"({shots} shots in {seconds:.2f}s)")
+    print(f"floor    : {floor:10.0f} shots/s "
+          f"(tolerance {tolerance:.0%} below baseline)")
+
+    if throughput < floor:
+        print("FAIL: end-to-end throughput regressed past the gate",
+              file=sys.stderr)
+        return 1
+    print("OK: throughput within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

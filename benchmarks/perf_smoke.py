@@ -18,6 +18,12 @@ with the environment variables below (e.g. for a quick CI sanity check):
 * ``REPRO_PERF_SHOTS``        — end-to-end memory-experiment shots (10000)
 * ``REPRO_PERF_DECODE_SHOTS`` — batched-decode shots            (2000)
 * ``REPRO_PERF_FRAME_SHOTS``  — frame-sampling shots            (20000)
+* ``REPRO_PERF_SHARD_SHOTS``  — sharded memory-experiment shots (100000)
+
+The sharded section runs the headline experiment single- and multi-core
+(``workers`` 1/2/4, packed backend only) and records the throughput of
+each; the report carries ``cpu_count`` so a 1-core CI container's flat
+scaling curve is interpretable.
 
 This is a plain script (not a pytest benchmark) because the boolean
 reference path is deliberately slow — minutes at the default budget —
@@ -147,17 +153,38 @@ def bench_batched_decode(shots: int) -> dict:
     }
 
 
+def time_memory_experiment(shots: int, backend: str = "packed",
+                           workers: int = 1,
+                           warmup_shots: int = 0) -> tuple[float, object]:
+    """Time one end-to-end headline memory experiment.
+
+    Shared by the backend comparison, the multi-core scaling section and
+    the ``check_bench.py`` regression gate so all three measure the
+    identical workload.  ``warmup_shots > 0`` runs a throwaway point
+    first so the timed run measures steady-state throughput (structure
+    and decoder caches built, pool spawned) — the regression gate uses
+    this so reduced budgets aren't dominated by fixed setup costs; the
+    perf_smoke sections themselves stay cold for comparability with the
+    committed trajectory.
+    """
+    code = code_by_name(BB_CODE)
+    with MemoryExperiment(code=code, seed=0, backend=backend) as experiment:
+        if warmup_shots > 0:
+            experiment.run(PHYSICAL_ERROR_RATE, ROUND_LATENCY_US,
+                           shots=warmup_shots, workers=workers)
+        return _timed(
+            lambda: experiment.run(PHYSICAL_ERROR_RATE, ROUND_LATENCY_US,
+                                   shots=shots, workers=workers)
+        )
+
+
 def bench_memory_experiment(shots: int) -> dict:
     """Headline: end-to-end 10k-shot BB-code memory experiment."""
-    code = code_by_name(BB_CODE)
     timings = {}
     lers = {}
     for backend in ("packed", "bool"):
-        experiment = MemoryExperiment(code=code, seed=0, backend=backend)
-        timings[backend], result = _timed(
-            lambda: experiment.run(PHYSICAL_ERROR_RATE, ROUND_LATENCY_US,
-                                   shots=shots)
-        )
+        timings[backend], result = time_memory_experiment(shots,
+                                                          backend=backend)
         lers[backend] = result.logical_error_rate
     return {
         "description": f"{BB_CODE} memory experiment, {shots} shots, "
@@ -170,10 +197,40 @@ def bench_memory_experiment(shots: int) -> dict:
     }
 
 
+def bench_sharded_memory(shots: int,
+                         workers_list: tuple[int, ...] = (1, 2, 4)) -> dict:
+    """Multi-core scaling: the headline experiment sharded across workers.
+
+    Packed backend only (the boolean reference is orders of magnitude
+    off this budget).  Decode results are bit-identical across worker
+    counts — the section records that alongside the throughputs.
+    """
+    per_workers = {}
+    failures = set()
+    for workers in workers_list:
+        seconds, result = time_memory_experiment(shots, workers=workers)
+        failures.add(result.failures)
+        per_workers[str(workers)] = {
+            "seconds": seconds,
+            "shots_per_second": shots / seconds,
+        }
+    base = per_workers[str(workers_list[0])]["seconds"]
+    return {
+        "description": f"{BB_CODE} memory experiment, {shots} shots, "
+                       f"packed backend, workers sweep",
+        "workers": per_workers,
+        "speedup_vs_single": {
+            w: base / stats["seconds"] for w, stats in per_workers.items()
+        },
+        "results_identical": len(failures) == 1,
+    }
+
+
 def main() -> None:
     shots = _int_env("REPRO_PERF_SHOTS", 10_000)
     decode_shots = _int_env("REPRO_PERF_DECODE_SHOTS", 2_000)
     frame_shots = _int_env("REPRO_PERF_FRAME_SHOTS", 20_000)
+    shard_shots = _int_env("REPRO_PERF_SHARD_SHOTS", 100_000)
 
     sections = {}
     print(f"frame sampling ({frame_shots} shots)...", flush=True)
@@ -185,15 +242,20 @@ def main() -> None:
     print(f"memory experiment ({shots} shots, slow: runs the boolean "
           "reference too)...", flush=True)
     sections["memory_experiment"] = bench_memory_experiment(shots)
+    print(f"sharded memory experiment ({shard_shots} shots, "
+          "workers 1/2/4)...", flush=True)
+    sections["sharded_memory_experiment"] = bench_sharded_memory(shard_shots)
 
     report = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
         "budgets": {
             "memory_experiment_shots": shots,
             "batched_decode_shots": decode_shots,
             "frame_sampling_shots": frame_shots,
+            "sharded_memory_experiment_shots": shard_shots,
         },
         "sections": sections,
         "headline_speedup": sections["memory_experiment"]["speedup"],
@@ -202,11 +264,19 @@ def main() -> None:
 
     print()
     for name, section in sections.items():
+        if "packed_seconds" not in section:
+            continue
         print(f"{name:20s} packed {section['packed_seconds']:8.2f}s  "
               f"bool {section['bool_seconds']:8.2f}s  "
               f"speedup {section['speedup']:6.1f}x")
+    sharded = sections["sharded_memory_experiment"]
+    for workers, stats in sharded["workers"].items():
+        print(f"workers={workers:<3s}          {stats['seconds']:8.2f}s  "
+              f"{stats['shots_per_second']:10.0f} shots/s  "
+              f"x{sharded['speedup_vs_single'][workers]:.2f} vs 1 worker")
     print(f"\nheadline speedup: {report['headline_speedup']:.1f}x "
-          f"(target >= 5x); wrote {OUTPUT_PATH}")
+          f"(target >= 5x) on {report['cpu_count']} cores; "
+          f"wrote {OUTPUT_PATH}")
 
 
 if __name__ == "__main__":

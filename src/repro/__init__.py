@@ -12,6 +12,9 @@ Memory" (HPCA 2026).  The library is organised bottom-up:
 ``repro.circuits`` / ``repro.sim`` / ``repro.noise`` / ``repro.decoders``
     Noisy syndrome-extraction circuits, Pauli-frame sampling, detector
     error models, hardware-aware noise and BP+OSD decoding.
+``repro.parallel``
+    Multi-process shot sharding for the decode hot path
+    (:class:`~repro.parallel.ShardedDecoder`).
 ``repro.qccd``
     The trapped-ion QCCD hardware simulator: topologies, timing,
     routing and the compilers (baseline grid EJF, dynamic timeslice,
@@ -62,6 +65,7 @@ from repro.core import (
     sweep_architectures,
 )
 from repro.noise import BaseNoiseModel, HardwareNoiseModel
+from repro.parallel import DecoderHandle, ShardedDecoder
 from repro.qccd import OperationTimes
 from repro.qccd.compilers import CycloneCompiler, EJFGridCompiler
 
@@ -89,6 +93,8 @@ __all__ = [
     "sweep_architectures",
     "BaseNoiseModel",
     "HardwareNoiseModel",
+    "DecoderHandle",
+    "ShardedDecoder",
     "OperationTimes",
     "CycloneCompiler",
     "EJFGridCompiler",

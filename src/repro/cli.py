@@ -21,6 +21,7 @@ Examples
     python -m repro compile "BB [[72,12,6]]" --codesigns baseline cyclone
     python -m repro memory "HGP [[225,9,6]]" --codesign cyclone \
         --physical-error-rates 1e-4 3e-4 1e-3 --shots 200 --output ler.csv
+    python -m repro memory "BB [[72,12,6]]" --shots 200000 --workers 4
     python -m repro speedup
 """
 
@@ -79,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("packed", "bool"), default="packed",
         help="simulation/decoding kernels: bit-packed (fast, default) or "
              "boolean reference",
+    )
+    memory_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the decode stage (1: in-process, "
+             "default; 0: one per CPU core; results are bit-identical "
+             "for any value)",
+    )
+    memory_parser.add_argument(
+        "--shard-shots", type=int, default=None,
+        help="shots per decode shard when --workers > 1 (default: the "
+             "decoder's 2048-shot block size; batches at or below one "
+             "shard decode in-process)",
     )
     memory_parser.add_argument("--output", default=None)
 
@@ -139,6 +152,8 @@ def _cmd_memory(args: argparse.Namespace) -> int:
         label=f"{args.codesign}, {compiled.execution_time_us:.0f} us/round",
         seed=args.seed,
         backend=args.backend,
+        workers=args.workers,
+        shard_shots=args.shard_shots,
     )
     _emit(table, args.output)
     return 0

@@ -32,10 +32,15 @@ from repro.core.phenomenological import (
     build_phenomenological_model,
     build_spacetime_structure,
 )
-from repro.decoders.bposd import BPOSDDecoder
+from repro.decoders.bposd import BPOSDDecoder, DecodeResult
 from repro.linalg.bitops import pack_bits, packed_matmul
 from repro.noise.hardware import HardwareNoiseModel
-from repro.sim.dem import detector_error_model
+from repro.parallel.sharded import (
+    DecoderHandle,
+    ShardedDecoder,
+    resolve_workers,
+)
+from repro.sim.dem import DemStructureCache
 from repro.sim.frame import FrameSimulator
 
 __all__ = ["MemoryExperiment", "MemoryResult", "logical_error_rate"]
@@ -109,6 +114,13 @@ class MemoryExperiment:
         ``"packed"`` (default) uses the bit-packed shot-parallel kernels
         throughout (simulator, DEM, decoder); ``"bool"`` selects the
         boolean reference implementations.
+    workers:
+        Default worker-process count for the decode stage (``1``:
+        in-process; ``0``: one worker per core; overridable per
+        :meth:`run` call).  Results are bit-identical for every value.
+    shard_shots:
+        Shots per decode shard when sharding across workers (default:
+        the decoder's ``block_shots``).
     seed:
         Root seed.  Every call to :meth:`run` derives an independent
         child seed via ``numpy.random.SeedSequence.spawn``, so sweep
@@ -125,38 +137,65 @@ class MemoryExperiment:
     schedule: StabilizerSchedule | None = None
     seed: int = 0
     backend: str = "packed"
+    workers: int = 1
+    shard_shots: int | None = None
 
     def __post_init__(self) -> None:
         if self.method not in ("phenomenological", "circuit"):
             raise ValueError("method must be 'phenomenological' or 'circuit'")
         if self.backend not in ("packed", "bool"):
             raise ValueError("backend must be 'packed' or 'bool'")
+        self.workers = resolve_workers(self.workers)
         if self.rounds is None:
             distance = self.code.distance or 3
             self.rounds = max(1, min(distance, 8))
         self._seed_sequence = np.random.SeedSequence(self.seed)
-        # Sweep cache: the space-time structure and decoder graph depend
+        # Sweep caches: the space-time structure (phenomenological), the
+        # DEM fault signatures (circuit) and the decoder graph depend
         # only on (code, rounds, basis, decoder knobs) — all fixed for
         # this experiment — so operating-point sweeps reuse them and
-        # merely refresh the priors.
+        # merely refresh the per-point priors.
         self._structure = None
         self._decoder = None
+        self._decoder_matrix = None
+        self._sharded = None
+        self._dem_cache = None
 
     def _spawn_seed(self) -> np.random.SeedSequence:
         """Child seed for the next run (decorrelated across sweep points)."""
         return self._seed_sequence.spawn(1)[0]
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool, if one was created (idempotent)."""
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
+
+    def __enter__(self) -> "MemoryExperiment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def run(self, physical_error_rate: float, round_latency_us: float,
-            shots: int = 200) -> MemoryResult:
-        """Estimate the logical error rate at one operating point."""
+            shots: int = 200, workers: int | None = None) -> MemoryResult:
+        """Estimate the logical error rate at one operating point.
+
+        ``workers`` overrides the experiment-level default for this call
+        (``1``: in-process; ``N``: shard the decode across ``N`` worker
+        processes; ``0``: one per core).  The result is bit-identical
+        for every value — only the wall-clock changes.
+        """
+        workers = self.workers if workers is None else resolve_workers(workers)
         noise = HardwareNoiseModel.from_physical_error_rate(
             physical_error_rate, round_latency_us=round_latency_us
         )
         if self.method == "phenomenological":
-            failures, extra = self._run_phenomenological(noise, shots)
+            failures, extra = self._run_phenomenological(noise, shots, workers)
         else:
-            failures, extra = self._run_circuit(noise, shots)
+            failures, extra = self._run_circuit(noise, shots, workers)
         return MemoryResult(
             code_name=self.code.name,
             physical_error_rate=physical_error_rate,
@@ -181,8 +220,46 @@ class MemoryExperiment:
             return packed_matmul(pack_bits(errors, axis=1), observable_packed)
         return (errors @ observable_matrix.T) % 2
 
-    def _run_phenomenological(self, noise: HardwareNoiseModel,
-                              shots: int) -> tuple[int, dict]:
+    def _decode_syndromes(self, check_matrix: np.ndarray,
+                          priors: np.ndarray, syndromes: np.ndarray,
+                          workers: int) -> DecodeResult:
+        """Decode with the cached (possibly sharded) decoder.
+
+        Decoder structure is cached by check-matrix *identity*: both
+        sweep caches hand back the same matrix object across operating
+        points, so points only refresh the priors.  Shots are decoded
+        in-process for ``workers <= 1`` and sharded across a reusable
+        process pool otherwise; the results are bit-identical.
+        """
+        if workers > 1:
+            if (self._sharded is None
+                    or self._sharded.handle.check_matrix is not check_matrix
+                    or self._sharded.workers != workers):
+                self.close()
+                handle = DecoderHandle(
+                    check_matrix=check_matrix, priors=priors,
+                    max_iterations=self.max_bp_iterations,
+                    osd_order=self.osd_order, backend=self.backend,
+                )
+                self._sharded = ShardedDecoder(
+                    handle, workers=workers, shard_shots=self.shard_shots
+                )
+            else:
+                self._sharded.update_priors(priors)
+            return self._sharded.decode_batch(syndromes)
+        if self._decoder is None or self._decoder_matrix is not check_matrix:
+            self._decoder = BPOSDDecoder(
+                check_matrix, priors,
+                max_iterations=self.max_bp_iterations,
+                osd_order=self.osd_order, backend=self.backend,
+            )
+            self._decoder_matrix = check_matrix
+        else:
+            self._decoder.update_priors(priors)
+        return self._decoder.decode_batch(syndromes)
+
+    def _run_phenomenological(self, noise: HardwareNoiseModel, shots: int,
+                              workers: int) -> tuple[int, dict]:
         if self._structure is None:
             self._structure = build_spacetime_structure(
                 self.code, rounds=self.rounds, basis=self.basis
@@ -191,19 +268,12 @@ class MemoryExperiment:
             self.code, noise, rounds=self.rounds, basis=self.basis,
             structure=self._structure,
         )
-        if self._decoder is None:
-            self._decoder = BPOSDDecoder(
-                model.check_matrix, model.priors,
-                max_iterations=self.max_bp_iterations,
-                osd_order=self.osd_order, backend=self.backend,
-            )
-        else:
-            self._decoder.update_priors(model.priors)
-        decoder = self._decoder
         syndromes, observables = model.sample(
             shots, seed=self._spawn_seed(), backend=self.backend
         )
-        decoded = decoder.decode_batch(syndromes)
+        decoded = self._decode_syndromes(
+            model.check_matrix, model.priors, syndromes, workers
+        )
         predicted = self._predict_observables(
             decoded.errors, model.observable_matrix,
             observable_packed=self._structure.packed_observable_matrix
@@ -220,24 +290,29 @@ class MemoryExperiment:
             "bp_converged_fraction": float(decoded.bp_converged.mean()),
         }
 
-    def _run_circuit(self, noise: HardwareNoiseModel,
-                     shots: int) -> tuple[int, dict]:
+    def _run_circuit(self, noise: HardwareNoiseModel, shots: int,
+                     workers: int) -> tuple[int, dict]:
         circuit = memory_experiment_circuit(
             self.code, noise, schedule=self.schedule, rounds=self.rounds,
             basis=self.basis,
         )
-        dem = detector_error_model(circuit, backend=self.backend)
-        decoder = BPOSDDecoder(
-            dem.check_matrix, dem.priors,
-            max_iterations=self.max_bp_iterations, osd_order=self.osd_order,
-            backend=self.backend,
-        )
+        # The DEM fault signatures depend on where the circuit's faults
+        # live, not on their rates; across sweep points only the priors
+        # are recomputed (see DemStructureCache).
+        if self._dem_cache is None:
+            self._dem_cache = DemStructureCache(backend=self.backend)
+        dem = self._dem_cache.model_for(circuit)
         sample = FrameSimulator(
             circuit, seed=self._spawn_seed(), backend=self.backend
         ).sample(shots)
-        decoded = decoder.decode_batch(sample.detectors)
-        predicted = self._predict_observables(decoded.errors,
-                                              dem.observable_matrix)
+        decoded = self._decode_syndromes(
+            dem.check_matrix, dem.priors, sample.detectors, workers
+        )
+        predicted = self._predict_observables(
+            decoded.errors, dem.observable_matrix,
+            observable_packed=self._dem_cache.structure.packed_observable_matrix
+            if self.backend == "packed" else None,
+        )
         failures = int(
             np.any(predicted.astype(bool) != sample.observables, axis=1).sum()
         )
@@ -253,10 +328,12 @@ def logical_error_rate(code: CSSCode, physical_error_rate: float,
                        round_latency_us: float, shots: int = 200,
                        rounds: int | None = None, basis: str = "Z",
                        method: str = "phenomenological",
-                       seed: int = 0, backend: str = "packed") -> MemoryResult:
+                       seed: int = 0, backend: str = "packed",
+                       workers: int = 1) -> MemoryResult:
     """One-call convenience wrapper around :class:`MemoryExperiment`."""
-    experiment = MemoryExperiment(
+    with MemoryExperiment(
         code=code, rounds=rounds, basis=basis, method=method, seed=seed,
-        backend=backend,
-    )
-    return experiment.run(physical_error_rate, round_latency_us, shots=shots)
+        backend=backend, workers=workers,
+    ) as experiment:
+        return experiment.run(physical_error_rate, round_latency_us,
+                              shots=shots)

@@ -25,25 +25,34 @@ def sweep_physical_error(code: CSSCode, round_latency_us: float,
                          shots: int = 200, rounds: int | None = None,
                          method: str = "phenomenological",
                          label: str = "", seed: int = 0,
-                         backend: str = "packed") -> ResultTable:
-    """Logical error rate vs physical error rate at a fixed latency."""
+                         backend: str = "packed",
+                         workers: int = 1,
+                         shard_shots: int | None = None) -> ResultTable:
+    """Logical error rate vs physical error rate at a fixed latency.
+
+    ``workers`` shards each point's decode across that many worker
+    processes (``0``: one per core); the structure caches and the worker
+    pool are shared by all points of the sweep.  ``shard_shots``
+    overrides the default shots-per-shard (the decoder's block size).
+    """
     table = ResultTable(
         title=f"LER sweep: {code.name} ({label or 'latency ' + str(round_latency_us) + ' us'})",
         columns=["p", "round_latency_us", "shots", "failures",
                  "logical_error_rate", "ler_per_round"],
     )
-    experiment = MemoryExperiment(code=code, rounds=rounds, method=method,
-                                  seed=seed, backend=backend)
-    for p in physical_error_rates:
-        result = experiment.run(p, round_latency_us, shots=shots)
-        table.add_row(
-            p=p,
-            round_latency_us=round_latency_us,
-            shots=result.shots,
-            failures=result.failures,
-            logical_error_rate=result.logical_error_rate,
-            ler_per_round=result.logical_error_rate_per_round,
-        )
+    with MemoryExperiment(code=code, rounds=rounds, method=method,
+                          seed=seed, backend=backend, workers=workers,
+                          shard_shots=shard_shots) as experiment:
+        for p in physical_error_rates:
+            result = experiment.run(p, round_latency_us, shots=shots)
+            table.add_row(
+                p=p,
+                round_latency_us=round_latency_us,
+                shots=result.shots,
+                failures=result.failures,
+                logical_error_rate=result.logical_error_rate,
+                ler_per_round=result.logical_error_rate_per_round,
+            )
     return table
 
 
@@ -51,8 +60,14 @@ def sweep_architectures(code: CSSCode, codesigns: Sequence[Codesign],
                         physical_error_rate: float | None = None,
                         shots: int = 200, rounds: int | None = None,
                         method: str = "phenomenological",
-                        seed: int = 0) -> ResultTable:
-    """Compare codesigns on one code: latency, spatial cost and (optionally) LER."""
+                        seed: int = 0, workers: int = 1,
+                        shard_shots: int | None = None) -> ResultTable:
+    """Compare codesigns on one code: latency, spatial cost and (optionally) LER.
+
+    ``workers`` shards each codesign's decode across worker processes
+    (``0``: one per core), sharing one pool across the sweep;
+    ``shard_shots`` overrides the shots-per-shard default.
+    """
     columns = ["codesign", "execution_time_us", "num_traps", "num_junctions",
                "num_ancilla", "dac_count", "spacetime_cost",
                "parallelization"]
@@ -66,25 +81,32 @@ def sweep_architectures(code: CSSCode, codesigns: Sequence[Codesign],
         # One cached experiment serves every codesign: only the latency
         # (and hence the priors) changes between operating points.
         experiment = MemoryExperiment(code=code, rounds=rounds,
-                                      method=method, seed=seed)
-    for codesign in codesigns:
-        compiled = codesign.compile(code)
-        cost = spacetime_cost(compiled)
-        row = {
-            "codesign": codesign.name,
-            "execution_time_us": compiled.execution_time_us,
-            "num_traps": compiled.metadata.get("num_traps", 0),
-            "num_junctions": compiled.metadata.get("num_junctions", 0),
-            "num_ancilla": compiled.metadata.get("num_ancilla", 0),
-            "dac_count": compiled.metadata.get("dac_count", 0),
-            "spacetime_cost": cost.cost,
-            "parallelization": compiled.parallelization_fraction,
-        }
-        if physical_error_rate is not None:
-            result = experiment.run(
-                physical_error_rate, compiled.execution_time_us, shots=shots
-            )
-            row["p"] = physical_error_rate
-            row["logical_error_rate"] = result.logical_error_rate
-        table.add_row(**row)
+                                      method=method, seed=seed,
+                                      workers=workers,
+                                      shard_shots=shard_shots)
+    try:
+        for codesign in codesigns:
+            compiled = codesign.compile(code)
+            cost = spacetime_cost(compiled)
+            row = {
+                "codesign": codesign.name,
+                "execution_time_us": compiled.execution_time_us,
+                "num_traps": compiled.metadata.get("num_traps", 0),
+                "num_junctions": compiled.metadata.get("num_junctions", 0),
+                "num_ancilla": compiled.metadata.get("num_ancilla", 0),
+                "dac_count": compiled.metadata.get("dac_count", 0),
+                "spacetime_cost": cost.cost,
+                "parallelization": compiled.parallelization_fraction,
+            }
+            if physical_error_rate is not None:
+                result = experiment.run(
+                    physical_error_rate, compiled.execution_time_us,
+                    shots=shots
+                )
+                row["p"] = physical_error_rate
+                row["logical_error_rate"] = result.logical_error_rate
+            table.add_row(**row)
+    finally:
+        if experiment is not None:
+            experiment.close()
     return table

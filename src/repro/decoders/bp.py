@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
+from repro.linalg.bitops import pack_bits, packed_matmul_words
+
 __all__ = ["BeliefPropagationDecoder", "BPResult"]
 
 
@@ -40,7 +42,8 @@ class BeliefPropagationDecoder:
 
     def __init__(self, check_matrix: np.ndarray, priors: np.ndarray,
                  max_iterations: int = 50, scaling_factor: float = 0.75,
-                 clip_llr: float = 30.0, active_set: bool = False) -> None:
+                 clip_llr: float = 30.0, active_set: bool = False,
+                 packed_verification: bool | None = None) -> None:
         check_matrix = np.asarray(check_matrix, dtype=np.uint8)
         if check_matrix.ndim != 2:
             raise ValueError("check matrix must be 2-D")
@@ -49,7 +52,21 @@ class BeliefPropagationDecoder:
         self.scaling_factor = float(scaling_factor)
         self.clip_llr = float(clip_llr)
         self.active_set = bool(active_set)
+        # Syndrome verification backend: the packed path keeps syndromes
+        # as 64-check words for the whole decode and verifies each
+        # iteration's hard decision with word-level AND/popcount/XOR;
+        # it defaults to following ``active_set`` (i.e. the packed
+        # decoder backend) and produces bit-identical results to the
+        # sparse reference verification.
+        self.packed_verification = (
+            self.active_set if packed_verification is None
+            else bool(packed_verification)
+        )
         self.update_priors(priors)
+        self._packed_check_rows = (
+            pack_bits(check_matrix, axis=1) if self.packed_verification
+            else None
+        )
 
         checks, variables = np.nonzero(check_matrix)
         order = np.lexsort((variables, checks))
@@ -123,6 +140,11 @@ class BeliefPropagationDecoder:
         # for the still-unconverged shots.
         var_to_check = np.tile(prior[edge_var], (shots, 1))
         syndrome_signs = np.where(syndromes, -1.0, 1.0)  # (shots, checks)
+        # Packed verification keeps the syndromes as words from here on:
+        # one XOR per 64 checks decides consistency each iteration.
+        syndrome_words = (
+            pack_bits(syndromes, axis=1) if self.packed_verification else None
+        )
 
         errors_out = np.zeros((shots, self.num_mechanisms), dtype=np.uint8)
         posterior_out = np.tile(prior, (shots, 1))
@@ -135,7 +157,6 @@ class BeliefPropagationDecoder:
             # Only the active-set path pays for subsetting; the reference
             # path always works on the full arrays.
             signs_active = syndrome_signs[active] if active_set else syndrome_signs
-            syndromes_active = syndromes[active] if active_set else syndromes
             check_to_var = self._check_update(
                 var_to_check, signs_active, edge_check, starts,
                 active.shape[0]
@@ -148,9 +169,21 @@ class BeliefPropagationDecoder:
                     out=var_to_check)
 
             errors = (posterior < 0).astype(np.uint8)
-            achieved = (self._sparse_check @ errors.T).T % 2
-            satisfied = np.all(achieved.astype(bool) == syndromes_active,
-                               axis=1)
+            if self.packed_verification:
+                words_active = (
+                    syndrome_words[active] if active_set else syndrome_words
+                )
+                achieved_words = packed_matmul_words(
+                    pack_bits(errors, axis=1), self._packed_check_rows
+                )
+                satisfied = ~np.any(achieved_words ^ words_active, axis=1)
+            else:
+                syndromes_active = (
+                    syndromes[active] if active_set else syndromes
+                )
+                achieved = (self._sparse_check @ errors.T).T % 2
+                satisfied = np.all(achieved.astype(bool) == syndromes_active,
+                                   axis=1)
 
             if active_set:
                 # Converged shots freeze at their first consistent state

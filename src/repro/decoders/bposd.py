@@ -59,6 +59,8 @@ class BPOSDDecoder:
             raise ValueError("block_shots must be positive")
         self.check_matrix = np.asarray(check_matrix, dtype=np.uint8)
         self.priors = np.asarray(priors, dtype=float)
+        self.max_iterations = int(max_iterations)
+        self.scaling_factor = float(scaling_factor)
         self.osd_order = int(osd_order)
         self.backend = backend
         self.block_shots = int(block_shots)
@@ -66,6 +68,7 @@ class BPOSDDecoder:
             self.check_matrix, self.priors,
             max_iterations=max_iterations, scaling_factor=scaling_factor,
             active_set=(backend == "packed"),
+            packed_verification=(backend == "packed"),
         )
         self._packed = PackedGF2Matrix(self.check_matrix)
 

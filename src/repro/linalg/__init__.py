@@ -29,6 +29,7 @@ from repro.linalg.bitops import (
     xor_reduce,
     xor_accumulate,
     packed_matmul,
+    packed_matmul_words,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "xor_reduce",
     "xor_accumulate",
     "packed_matmul",
+    "packed_matmul_words",
 ]

@@ -35,6 +35,7 @@ __all__ = [
     "xor_reduce",
     "xor_accumulate",
     "packed_matmul",
+    "packed_matmul_words",
     "bit_mask",
 ]
 
@@ -144,3 +145,17 @@ def packed_matmul(a_packed: np.ndarray, b_packed: np.ndarray,
             popcount(block).sum(axis=-1, dtype=np.uint64) & 1
         ).astype(np.uint8)
     return out
+
+
+def packed_matmul_words(a_packed: np.ndarray, b_packed: np.ndarray,
+                        chunk: int = 512) -> np.ndarray:
+    """:func:`packed_matmul` with the result bit-packed along the B rows.
+
+    Returns the ``(m, num_words(n))`` word array whose bit ``j`` of row
+    ``i`` is ``(A @ B.T mod 2)[i, j]``.  The parities are computed by
+    the word-level AND/popcount kernel and then packed once, so the
+    consumer (e.g. BP's packed syndrome verification) can compare
+    against other packed operands with word XORs instead of per-bit
+    boolean comparisons.
+    """
+    return pack_bits(packed_matmul(a_packed, b_packed, chunk=chunk), axis=1)

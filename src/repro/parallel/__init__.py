@@ -1,0 +1,20 @@
+"""Multi-process shot sharding for the decode hot path.
+
+Shots of a memory experiment are statistically independent, so the
+decode of a large syndrome batch splits into shard-sized slices that
+worker processes handle concurrently — bit-identically to an in-process
+decode, for any worker count.  See :mod:`repro.parallel.sharded` for the
+design and `docs/performance.md` for the measured scaling.
+"""
+
+from repro.parallel.sharded import (
+    DecoderHandle,
+    ShardedDecoder,
+    resolve_workers,
+)
+
+__all__ = [
+    "DecoderHandle",
+    "ShardedDecoder",
+    "resolve_workers",
+]

@@ -14,11 +14,20 @@ Two complementary tools:
 """
 
 from repro.sim.frame import FrameSimulator, SampleResult
-from repro.sim.dem import DetectorErrorModel, detector_error_model
+from repro.sim.dem import (
+    DemStructure,
+    DemStructureCache,
+    DetectorErrorModel,
+    build_dem_structure,
+    detector_error_model,
+)
 
 __all__ = [
     "FrameSimulator",
     "SampleResult",
+    "DemStructure",
+    "DemStructureCache",
     "DetectorErrorModel",
+    "build_dem_structure",
     "detector_error_model",
 ]

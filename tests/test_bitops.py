@@ -14,10 +14,19 @@ from repro.linalg.bitops import (
     pack_bits,
     unpack_bits,
     packed_matmul,
+    packed_matmul_words,
     parity,
     popcount,
     xor_accumulate,
     xor_reduce,
+)
+
+#: Dimension strategy biased toward the word-boundary edge cases the
+#: packed kernels have to get right: empty axes and sizes straddling
+#: multiples of 64.
+edge_dims = st.one_of(
+    st.sampled_from([0, 1, 63, 64, 65, 127, 128, 129]),
+    st.integers(0, 200),
 )
 
 
@@ -111,3 +120,80 @@ class TestWordKernels:
         product = packed_matmul(pack_bits(a, axis=1), pack_bits(b, axis=1),
                                 chunk=128)
         assert np.array_equal(product, (a @ b.T) % 2)
+
+
+class TestEdgeShapeProperties:
+    """Randomized round-trip/equivalence properties at awkward shapes:
+    empty matrices and shot counts that are not multiples of 64."""
+
+    @given(st.integers(0, 2 ** 31), edge_dims, st.integers(0, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_shot_count_axis0(self, seed, shots, cols):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (shots, cols)).astype(bool)
+        packed = pack_bits(bits, axis=0)
+        assert packed.shape == (num_words(shots), cols)
+        assert packed.dtype == np.dtype("<u8")
+        assert np.array_equal(unpack_bits(packed, shots, axis=0), bits)
+
+    @given(st.integers(0, 2 ** 31), st.integers(0, 6), edge_dims)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_shot_count_axis1(self, seed, rows, count):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (rows, count)).astype(bool)
+        packed = pack_bits(bits, axis=1)
+        assert packed.shape == (rows, num_words(count))
+        assert np.array_equal(unpack_bits(packed, count, axis=1), bits)
+
+    @given(st.integers(0, 2 ** 31), edge_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_padding_never_leaks_into_parity(self, seed, count):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, count).astype(bool)
+        packed = pack_bits(bits)
+        assert int(popcount(packed).sum()) == int(bits.sum())
+        expected = np.uint8(bits.sum() & 1)
+        assert parity(packed, axis=0) == expected
+
+    @given(st.integers(0, 2 ** 31), st.integers(0, 12), st.integers(0, 12),
+           edge_dims)
+    @settings(max_examples=60, deadline=None)
+    def test_packed_matmul_matches_bool_matmul(self, seed, m, n, k):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, (m, k), dtype=np.uint8)
+        b = rng.integers(0, 2, (n, k), dtype=np.uint8)
+        product = packed_matmul(pack_bits(a, axis=1), pack_bits(b, axis=1))
+        expected = (a.astype(int) @ b.astype(int).T) % 2
+        assert product.shape == (m, n)
+        assert np.array_equal(product, expected)
+
+    @given(st.integers(0, 2 ** 31), st.integers(0, 12), edge_dims,
+           st.integers(0, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_packed_matmul_words_round_trip(self, seed, m, n, k):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, (m, k), dtype=np.uint8)
+        b = rng.integers(0, 2, (n, k), dtype=np.uint8)
+        words = packed_matmul_words(pack_bits(a, axis=1),
+                                    pack_bits(b, axis=1))
+        assert words.shape == (m, num_words(n))
+        expected = (a.astype(int) @ b.astype(int).T) % 2
+        assert np.array_equal(unpack_bits(words, n, axis=1),
+                              expected.astype(bool))
+
+    def test_empty_matrix_product_is_zero(self):
+        # Inner dimension 0: the product over an empty mechanism set is
+        # identically zero, not garbage from uninitialised words.
+        a = pack_bits(np.zeros((5, 0), dtype=np.uint8), axis=1)
+        b = pack_bits(np.zeros((3, 0), dtype=np.uint8), axis=1)
+        assert not packed_matmul(a, b).any()
+        assert packed_matmul(a, b).shape == (5, 3)
+
+    @given(st.integers(0, 2 ** 31), edge_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_xor_reduce_any_width(self, seed, count):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, (4, count)).astype(bool)
+        reduced = xor_reduce(pack_bits(bits, axis=1), axis=0)
+        expected = np.bitwise_xor.reduce(bits, axis=0)
+        assert np.array_equal(unpack_bits(reduced, count), expected)

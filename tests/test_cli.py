@@ -57,6 +57,12 @@ class TestParser:
         ])
         assert args.shots == 10
         assert args.physical_error_rates == [1e-3, 2e-3]
+        assert args.workers == 1  # in-process by default
+
+    def test_memory_workers_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["memory", "surface-d3", "--workers", "4"])
+        assert args.workers == 4
 
 
 class TestCommands:
@@ -91,6 +97,25 @@ class TestCommands:
         payload = json.loads(out_file.read_text())
         assert len(payload["rows"]) == 1
         assert 0.0 <= payload["rows"][0]["logical_error_rate"] <= 1.0
+
+    def test_memory_command_with_workers(self, capsys, tmp_path):
+        """--workers must not change the sweep's numbers, only its wall
+        clock; compare a genuinely sharded 2-worker run (--shard-shots
+        48 splits the 130-shot batch into three shards, so the process
+        pool really runs) against the in-process result."""
+        outputs = {}
+        for workers in (1, 2):
+            out_file = tmp_path / f"ler-{workers}.json"
+            exit_code = main([
+                "memory", "surface-d3", "--codesign", "cyclone",
+                "--physical-error-rates", "3e-3", "--shots", "130",
+                "--rounds", "2", "--workers", str(workers),
+                "--shard-shots", "48", "--output", str(out_file),
+            ])
+            assert exit_code == 0
+            capsys.readouterr()
+            outputs[workers] = json.loads(out_file.read_text())["rows"]
+        assert outputs[1] == outputs[2]
 
     def test_speedup_command(self, capsys):
         exit_code = main(["speedup", "--codes", "BB [[72,12,6]]"])

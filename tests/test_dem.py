@@ -116,3 +116,18 @@ class TestAgainstSampling:
         )
         assert large.num_mechanisms > small.num_mechanisms
         assert large.num_detectors > small.num_detectors
+
+
+class TestFaultFreeCircuit:
+    @pytest.mark.parametrize("backend", ["packed", "bool"])
+    def test_noiseless_circuit_yields_empty_model(self, backend):
+        # Regression: the bool path used to crash on len(faults) == 0
+        # (chunk size of zero) instead of returning the empty model.
+        circuit = Circuit()
+        circuit.append("R", [0, 1])
+        circuit.measure([0, 1])
+        circuit.detector([0])
+        dem = detector_error_model(circuit, backend=backend)
+        assert dem.num_mechanisms == 0
+        assert dem.check_matrix.shape == (circuit.num_detectors, 0)
+        assert dem.priors.shape == (0,)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.circuits import memory_experiment_circuit
 from repro.codes import code_by_name, surface_code
 from repro.core.memory import MemoryExperiment, MemoryResult, logical_error_rate
 from repro.core.phenomenological import (
@@ -12,6 +13,7 @@ from repro.core.phenomenological import (
     effective_error_rates,
 )
 from repro.noise import HardwareNoiseModel
+from repro.sim.dem import DemStructureCache, detector_error_model
 
 
 @pytest.fixture(scope="module")
@@ -160,3 +162,60 @@ class TestMemoryExperiment:
                               failures=0, method="phenomenological", basis="Z")
         assert result.logical_error_rate == 0.0
         assert result.standard_error == 0.0
+
+
+class TestCircuitSweepCache:
+    """Circuit-level sweeps must reuse the cached DEM fault signatures
+    across operating points and still produce cold-build priors."""
+
+    def _circuit(self, code, p):
+        noise = HardwareNoiseModel.from_physical_error_rate(
+            p, round_latency_us=100.0
+        )
+        return memory_experiment_circuit(code, noise, rounds=2)
+
+    def test_structure_built_once_across_error_rates(self, surface_code_d3):
+        cache = DemStructureCache()
+        models = [cache.model_for(self._circuit(surface_code_d3, p))
+                  for p in (1e-3, 2e-3, 5e-4)]
+        assert cache.builds == 1
+        # All points share the *same* signature matrices (identity, so
+        # downstream decoder caches key on them), but the priors differ.
+        assert models[1].check_matrix is models[0].check_matrix
+        assert not np.array_equal(models[0].priors, models[1].priors)
+
+    def test_cached_priors_match_cold_build(self, surface_code_d3):
+        cache = DemStructureCache()
+        cache.model_for(self._circuit(surface_code_d3, 1e-3))  # warm
+        circuit = self._circuit(surface_code_d3, 3e-3)
+        cached = cache.model_for(circuit)
+        cold = detector_error_model(circuit)
+        assert cache.builds == 1
+        assert np.array_equal(cached.check_matrix, cold.check_matrix)
+        assert np.array_equal(cached.observable_matrix,
+                              cold.observable_matrix)
+        assert np.array_equal(cached.priors, cold.priors)
+
+    def test_skeleton_change_invalidates(self, surface_code_d3):
+        cache = DemStructureCache()
+        cache.model_for(self._circuit(surface_code_d3, 1e-3))
+        # A structurally different circuit (extra round -> more faults
+        # at new locations) must trigger a fresh build, not a stale hit.
+        noise = HardwareNoiseModel.from_physical_error_rate(
+            1e-3, round_latency_us=100.0
+        )
+        other = memory_experiment_circuit(surface_code_d3, noise, rounds=3)
+        model = cache.model_for(other)
+        assert cache.builds == 2
+        cold = detector_error_model(other)
+        assert np.array_equal(model.check_matrix, cold.check_matrix)
+
+    def test_memory_experiment_reuses_structure_and_decoder(
+            self, surface_code_d3):
+        experiment = MemoryExperiment(code=surface_code_d3, rounds=2,
+                                      method="circuit", seed=3)
+        experiment.run(1e-3, 0.0, shots=40)
+        decoder = experiment._decoder
+        experiment.run(2e-3, 0.0, shots=40)
+        assert experiment._dem_cache.builds == 1
+        assert experiment._decoder is decoder  # re-priored, not rebuilt

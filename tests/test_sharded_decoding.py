@@ -1,0 +1,187 @@
+"""Tests for multi-process sharded decoding (``repro.parallel``).
+
+The contract under test: sharding the decode of a syndrome batch across
+worker processes is *bit-identical* to decoding in-process, for any
+worker count and shard size, because shots are independent; and worker
+failures must propagate to the caller instead of being swallowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.codes import code_by_name
+from repro.core.memory import MemoryExperiment
+from repro.core.phenomenological import build_phenomenological_model
+from repro.decoders.bposd import BPOSDDecoder
+from repro.noise import HardwareNoiseModel
+from repro.parallel import DecoderHandle, ShardedDecoder, resolve_workers
+
+
+@pytest.fixture(scope="module")
+def bb72():
+    return code_by_name("BB [[72,12,6]]")
+
+
+@pytest.fixture(scope="module")
+def decode_problem(bb72):
+    """A phenomenological decode problem with a non-trivial OSD fraction."""
+    noise = HardwareNoiseModel.from_physical_error_rate(
+        3e-3, round_latency_us=100_000.0
+    )
+    model = build_phenomenological_model(bb72, noise, rounds=2)
+    syndromes, _ = model.sample(150, seed=42)
+    return model, syndromes
+
+
+class TestResolveWorkers:
+    def test_none_means_in_process(self):
+        assert resolve_workers(None) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) >= 1
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestShardedDecoder:
+    def test_one_worker_equals_in_process(self, decode_problem):
+        model, syndromes = decode_problem
+        handle = DecoderHandle(model.check_matrix, model.priors,
+                               max_iterations=12)
+        reference = handle.build().decode_batch(syndromes)
+        with ShardedDecoder(handle, workers=1) as sharded:
+            result = sharded.decode_batch(syndromes)
+        assert np.array_equal(result.errors, reference.errors)
+        assert np.array_equal(result.bp_converged, reference.bp_converged)
+
+    def test_multi_worker_bit_identical_and_order_independent(
+            self, decode_problem):
+        model, syndromes = decode_problem
+        handle = DecoderHandle(model.check_matrix, model.priors,
+                               max_iterations=12)
+        reference = handle.build().decode_batch(syndromes)
+        # A shard size that neither divides the shot count nor aligns
+        # with the 64-bit word size, so the merge has to stitch ragged
+        # shards back together in exactly the submission order.
+        with ShardedDecoder(handle, workers=2, shard_shots=37) as sharded:
+            result = sharded.decode_batch(syndromes)
+            again = sharded.decode_batch(syndromes)
+        assert np.array_equal(result.errors, reference.errors)
+        assert np.array_equal(result.bp_converged, reference.bp_converged)
+        assert np.array_equal(again.errors, reference.errors)
+
+    def test_priors_update_reaches_workers(self, decode_problem):
+        model, syndromes = decode_problem
+        handle = DecoderHandle(model.check_matrix, model.priors,
+                               max_iterations=12)
+        new_priors = np.clip(model.priors * 2.5, 0.0, 0.4)
+        reference = handle.with_priors(new_priors).build() \
+            .decode_batch(syndromes)
+        with ShardedDecoder(handle, workers=2, shard_shots=37) as sharded:
+            sharded.decode_batch(syndromes)  # warm the worker decoders
+            sharded.update_priors(new_priors)
+            result = sharded.decode_batch(syndromes)
+        assert np.array_equal(result.errors, reference.errors)
+        assert np.array_equal(result.bp_converged, reference.bp_converged)
+
+    def test_single_shard_batches_stay_in_process(self, decode_problem):
+        model, syndromes = decode_problem
+        handle = DecoderHandle(model.check_matrix, model.priors,
+                               max_iterations=12)
+        with ShardedDecoder(handle, workers=4) as sharded:
+            # Batch fits in one shard (shard_shots defaults to 2048):
+            # no pool should ever be spawned.
+            result = sharded.decode_batch(syndromes)
+            assert sharded._executor is None
+        assert result.shots == syndromes.shape[0]
+
+    def test_worker_failure_propagates(self, decode_problem):
+        model, syndromes = decode_problem
+        handle = _ExplodingHandle(model.check_matrix, model.priors,
+                                  max_iterations=12)
+        with ShardedDecoder(handle, workers=2, shard_shots=37) as sharded:
+            with pytest.raises(RuntimeError, match="injected worker failure"):
+                sharded.decode_batch(syndromes)
+
+    def test_decode_single_syndrome(self, decode_problem):
+        model, syndromes = decode_problem
+        handle = DecoderHandle(model.check_matrix, model.priors,
+                               max_iterations=12)
+        reference = handle.build().decode(syndromes[0])
+        with ShardedDecoder(handle, workers=2) as sharded:
+            assert np.array_equal(sharded.decode(syndromes[0]), reference)
+
+    def test_empty_batch(self, decode_problem):
+        model, _ = decode_problem
+        handle = DecoderHandle(model.check_matrix, model.priors)
+        with ShardedDecoder(handle, workers=2) as sharded:
+            result = sharded.decode_batch(
+                np.zeros((0, model.num_detectors), dtype=np.uint8)
+            )
+        assert result.shots == 0
+
+
+@dataclass(frozen=True)
+class _ExplodingHandle(DecoderHandle):
+    """Handle whose decoder construction fails inside the worker."""
+
+    def build(self) -> BPOSDDecoder:
+        raise RuntimeError("injected worker failure")
+
+
+class TestMemoryExperimentWorkers:
+    #: Operating point hot enough that failures and the BP-unconverged
+    #: fraction are non-trivial — a sharding bug that reordered or
+    #: dropped shots would show up in either number.
+    P, LATENCY, SHOTS = 3e-3, 100_000.0, 240
+
+    def _run(self, bb72, workers):
+        with MemoryExperiment(code=bb72, rounds=2, seed=11,
+                              shard_shots=64) as experiment:
+            return experiment.run(self.P, self.LATENCY, shots=self.SHOTS,
+                                  workers=workers)
+
+    def test_identical_memory_result_for_any_worker_count(self, bb72):
+        results = {w: self._run(bb72, w) for w in (1, 2, 4)}
+        baseline = results[1]
+        assert baseline.failures > 0  # non-trivial operating point
+        for workers, result in results.items():
+            assert result.failures == baseline.failures, workers
+            assert result.shots == baseline.shots
+            assert result.metadata == baseline.metadata
+
+    def test_workers_zero_uses_cpu_count(self, bb72):
+        result = self._run(bb72, 0)
+        assert result.failures == self._run(bb72, 1).failures
+
+    def test_sweep_reuses_pool_across_points(self, bb72):
+        with MemoryExperiment(code=bb72, rounds=2, seed=5, workers=2,
+                              shard_shots=64) as experiment:
+            first = experiment.run(self.P, self.LATENCY, shots=self.SHOTS)
+            pool = experiment._sharded
+            assert pool is not None
+            second = experiment.run(1e-3, 50_000.0, shots=self.SHOTS)
+            assert experiment._sharded is pool  # same pool, re-priored
+        assert first.failures >= second.failures
+
+    def test_circuit_method_workers_match_in_process(self):
+        from repro.codes import surface_code
+        code = surface_code(3)
+        results = []
+        for workers in (1, 2):
+            with MemoryExperiment(code=code, rounds=2, method="circuit",
+                                  seed=3, shard_shots=32) as experiment:
+                results.append(
+                    experiment.run(2e-3, 0.0, shots=100, workers=workers)
+                )
+        assert results[0].failures == results[1].failures
+        assert results[0].metadata == results[1].metadata
