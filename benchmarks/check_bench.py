@@ -1,11 +1,25 @@
 #!/usr/bin/env python
 """Performance regression gate against the committed ``BENCH_sim.json``.
 
-Re-measures the headline end-to-end memory experiment (packed backend,
-same operating point as ``perf_smoke.py``) and fails — exit code 1 —
-when its throughput (shots/second) drops more than the tolerance below
-the committed baseline.  Intended to run alongside the tier-1 tests
-whenever a hot path is touched::
+Re-measures the hot path against the committed baseline and fails —
+exit code 1 — on a throughput regression past the tolerance.  Two gates
+run (same operating point as ``perf_smoke.py``, packed backend):
+
+1. **End-to-end**: the headline memory experiment's shots/second vs the
+   baseline's ``memory_experiment`` section.
+2. **Fused pipeline**: ``ShardedExperiment`` sample+decode shots/second
+   vs the baseline's ``sharded_pipeline`` single-worker row (skipped
+   with a note when the baseline predates that section).
+
+A multi-worker **scaling check** (workers=2 must retain at least half
+of the single-worker throughput — catching pathological serialization
+in the pool, not chasing an exact speedup) runs after the gates and is
+**auto-skipped with a logged note when ``cpu_count == 1``**: on a
+single-core host all workers share one core and the comparison is
+meaningless by construction.
+
+Intended to run alongside the tier-1 tests whenever a hot path is
+touched::
 
     PYTHONPATH=src python benchmarks/check_bench.py
 
@@ -15,8 +29,8 @@ Knobs (environment variables):
   the baseline's ``memory_experiment_shots``; throughput normalises the
   comparison, so a smaller budget still gates, just noisier)
 * ``REPRO_CHECK_TOLERANCE`` — allowed fractional drop (default 0.30)
-* ``REPRO_CHECK_WORKERS``   — workers for the fresh run (default 1,
-  matching how the baseline's packed end-to-end number is measured)
+* ``REPRO_CHECK_WORKERS``   — workers for the end-to-end run (default
+  1, matching how the baseline's packed number is measured)
 
 Exit codes: 0 pass, 1 throughput regression, 2 missing/invalid baseline.
 """
@@ -27,7 +41,11 @@ import json
 import os
 import sys
 
-from perf_smoke import OUTPUT_PATH, time_memory_experiment
+from perf_smoke import (
+    OUTPUT_PATH,
+    time_memory_experiment,
+    time_sharded_pipeline,
+)
 
 
 def _float_env(name: str, default: float) -> float:
@@ -35,6 +53,23 @@ def _float_env(name: str, default: float) -> float:
         return float(os.environ.get(name, default))
     except ValueError:
         return default
+
+
+def _gate(label: str, baseline_throughput: float, throughput: float,
+          tolerance: float) -> bool:
+    """Print one gate's verdict; True when the measurement passes."""
+    floor = (1.0 - tolerance) * baseline_throughput
+    print(f"[{label}]")
+    print(f"  baseline : {baseline_throughput:10.0f} shots/s")
+    print(f"  measured : {throughput:10.0f} shots/s")
+    print(f"  floor    : {floor:10.0f} shots/s "
+          f"(tolerance {tolerance:.0%} below baseline)")
+    if throughput < floor:
+        print(f"  FAIL: {label} throughput regressed past the gate",
+              file=sys.stderr)
+        return False
+    print("  OK")
+    return True
 
 
 def main() -> int:
@@ -58,6 +93,7 @@ def main() -> int:
     tolerance = _float_env("REPRO_CHECK_TOLERANCE", 0.30)
     shots = int(_float_env("REPRO_CHECK_SHOTS", baseline_shots))
     workers = int(_float_env("REPRO_CHECK_WORKERS", 1))
+    ok = True
 
     print(f"measuring end-to-end packed throughput ({shots} shots, "
           f"workers={workers})...", flush=True)
@@ -68,20 +104,55 @@ def main() -> int:
     # in the direction that never fails spuriously.
     seconds, _ = time_memory_experiment(shots, workers=workers,
                                         warmup_shots=min(1000, shots))
-    throughput = shots / seconds
-    floor = (1.0 - tolerance) * baseline_throughput
+    ok &= _gate("end-to-end memory experiment", baseline_throughput,
+                shots / seconds, tolerance)
 
-    print(f"baseline : {baseline_throughput:10.0f} shots/s "
-          f"({baseline_shots} shots in {baseline_seconds:.2f}s, "
-          f"committed {baseline.get('generated', '?')})")
-    print(f"measured : {throughput:10.0f} shots/s "
-          f"({shots} shots in {seconds:.2f}s)")
-    print(f"floor    : {floor:10.0f} shots/s "
-          f"(tolerance {tolerance:.0%} below baseline)")
+    pipeline_section = baseline["sections"].get("sharded_pipeline")
+    single = (pipeline_section or {}).get("workers", {}).get("1")
+    if single is None:
+        print("note: baseline has no sharded_pipeline single-worker row; "
+              "skipping the fused-pipeline gate (re-run perf_smoke to "
+              "record one)")
+        pipeline_throughput = None
+    else:
+        print(f"measuring fused-pipeline throughput ({shots} shots)...",
+              flush=True)
+        seconds, _ = time_sharded_pipeline(shots,
+                                           warmup_shots=min(1000, shots))
+        pipeline_throughput = shots / seconds
+        ok &= _gate("fused sample+decode pipeline",
+                    single["shots_per_second"], pipeline_throughput,
+                    tolerance)
 
-    if throughput < floor:
-        print("FAIL: end-to-end throughput regressed past the gate",
-              file=sys.stderr)
+    if (os.cpu_count() or 1) == 1:
+        print("note: cpu_count == 1 — skipping the multi-worker scaling "
+              "check (all workers share one core; the comparison is "
+              "flat by construction)")
+    elif pipeline_throughput is not None:
+        print(f"measuring 2-worker pipeline scaling ({shots} shots)...",
+              flush=True)
+        # Any shot budget must still cross the process boundary: size
+        # the shards off the *warmup* budget so the warmup (which
+        # spawns the pool and builds the workers' decoders outside the
+        # timed region) splits into at least 4 shards, and the timed
+        # run genuinely fans out to the workers.
+        warmup = min(1000, shots)
+        scaling_shards = max(1, warmup // 4)
+        seconds, _ = time_sharded_pipeline(shots, workers=2,
+                                           warmup_shots=warmup,
+                                           shard_shots=scaling_shards)
+        two_worker = shots / seconds
+        print(f"[pipeline scaling] workers=1 {pipeline_throughput:.0f} "
+              f"shots/s, workers=2 {two_worker:.0f} shots/s "
+              f"(x{two_worker / pipeline_throughput:.2f})")
+        if two_worker < 0.5 * pipeline_throughput:
+            print("FAIL: 2-worker pipeline lost more than half the "
+                  "single-worker throughput", file=sys.stderr)
+            ok = False
+        else:
+            print("  OK")
+
+    if not ok:
         return 1
     print("OK: throughput within tolerance of the committed baseline")
     return 0

@@ -18,12 +18,17 @@ with the environment variables below (e.g. for a quick CI sanity check):
 * ``REPRO_PERF_SHOTS``        — end-to-end memory-experiment shots (10000)
 * ``REPRO_PERF_DECODE_SHOTS`` — batched-decode shots            (2000)
 * ``REPRO_PERF_FRAME_SHOTS``  — frame-sampling shots            (20000)
-* ``REPRO_PERF_SHARD_SHOTS``  — sharded memory-experiment shots (100000)
+* ``REPRO_PERF_SHARD_SHOTS``  — sharded-section shots           (100000)
 
-The sharded section runs the headline experiment single- and multi-core
-(``workers`` 1/2/4, packed backend only) and records the throughput of
-each; the report carries ``cpu_count`` so a 1-core CI container's flat
-scaling curve is interpretable.
+Two sharded sections run the headline workload single- and multi-core
+(``workers`` 1/2/4, packed backend only): ``sharded_memory_experiment``
+times the full ``MemoryExperiment`` end to end, ``sharded_pipeline``
+times the fused sample→decode pipeline (``ShardedExperiment``) in
+isolation.  On a single-core host the multi-worker rows are **skipped**
+(with a logged note and a ``skipped_workers`` record) — all workers
+would share one core, so the committed scaling curve would be flat by
+construction and meaningless; re-run on a multi-core host to record
+real scaling.  The report carries ``cpu_count`` either way.
 
 This is a plain script (not a pytest benchmark) because the boolean
 reference path is deliberately slow — minutes at the default budget —
@@ -46,6 +51,7 @@ from repro.core.memory import MemoryExperiment
 from repro.core.phenomenological import build_phenomenological_model
 from repro.decoders.bposd import BPOSDDecoder
 from repro.noise import HardwareNoiseModel
+from repro.parallel import DecoderHandle, ExperimentHandle, ShardedExperiment
 from repro.sim import FrameSimulator, detector_error_model
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -197,33 +203,134 @@ def bench_memory_experiment(shots: int) -> dict:
     }
 
 
-def bench_sharded_memory(shots: int,
-                         workers_list: tuple[int, ...] = (1, 2, 4)) -> dict:
-    """Multi-core scaling: the headline experiment sharded across workers.
+#: Worker counts the scaling sections sweep on a multi-core host.
+SCALING_WORKERS = (1, 2, 4)
 
-    Packed backend only (the boolean reference is orders of magnitude
-    off this budget).  Decode results are bit-identical across worker
-    counts — the section records that alongside the throughputs.
-    """
+SINGLE_CORE_NOTE = (
+    "cpu_count == 1: multi-worker rows skipped — all workers would share "
+    "one core, so the scaling curve would be flat by construction.  "
+    "Re-run perf_smoke.py on a multi-core host to record real scaling."
+)
+
+
+def resolve_scaling_workers(
+        workers_list: tuple[int, ...] = SCALING_WORKERS
+) -> tuple[tuple[int, ...], list[int], str | None]:
+    """(workers to run, workers skipped, note) for the scaling sections."""
+    if (os.cpu_count() or 1) > 1:
+        return workers_list, [], None
+    kept = tuple(w for w in workers_list if w <= 1) or (1,)
+    skipped = [w for w in workers_list if w > 1]
+    return kept, skipped, SINGLE_CORE_NOTE
+
+
+def _scaling_section(description: str, runner,
+                     workers_list: tuple[int, ...]) -> dict:
+    """Sweep ``runner(workers) -> (seconds, failures)`` over workers."""
+    workers_list, skipped, note = resolve_scaling_workers(workers_list)
     per_workers = {}
     failures = set()
     for workers in workers_list:
-        seconds, result = time_memory_experiment(shots, workers=workers)
-        failures.add(result.failures)
+        seconds, shots, run_failures = runner(workers)
+        failures.add(run_failures)
         per_workers[str(workers)] = {
             "seconds": seconds,
             "shots_per_second": shots / seconds,
         }
     base = per_workers[str(workers_list[0])]["seconds"]
-    return {
-        "description": f"{BB_CODE} memory experiment, {shots} shots, "
-                       f"packed backend, workers sweep",
+    section = {
+        "description": description,
         "workers": per_workers,
         "speedup_vs_single": {
             w: base / stats["seconds"] for w, stats in per_workers.items()
         },
         "results_identical": len(failures) == 1,
     }
+    if skipped:
+        section["skipped_workers"] = skipped
+        section["skip_note"] = note
+        print(f"  note: {note}", flush=True)
+    return section
+
+
+def bench_sharded_memory(shots: int,
+                         workers_list: tuple[int, ...] = SCALING_WORKERS
+                         ) -> dict:
+    """Multi-core scaling: the headline experiment sharded across workers.
+
+    Packed backend only (the boolean reference is orders of magnitude
+    off this budget).  Results are bit-identical across worker counts —
+    the section records that alongside the throughputs.
+    """
+    def runner(workers):
+        seconds, result = time_memory_experiment(shots, workers=workers)
+        return seconds, shots, result.failures
+
+    return _scaling_section(
+        f"{BB_CODE} memory experiment, {shots} shots, packed backend, "
+        f"workers sweep",
+        runner, workers_list,
+    )
+
+
+def build_pipeline_handle() -> ExperimentHandle:
+    """The headline workload as a fused-pipeline recipe (shared with
+    ``check_bench.py`` so the gate measures the identical pipeline)."""
+    code = code_by_name(BB_CODE)
+    noise = HardwareNoiseModel.from_physical_error_rate(
+        PHYSICAL_ERROR_RATE, round_latency_us=ROUND_LATENCY_US
+    )
+    model = build_phenomenological_model(code, noise, rounds=6)
+    return ExperimentHandle(
+        decoder=DecoderHandle(model.check_matrix, model.priors,
+                              max_iterations=40),
+        observable_matrix=model.observable_matrix,
+        method="phenomenological",
+    )
+
+
+def time_sharded_pipeline(shots: int, workers: int = 1,
+                          warmup_shots: int = 0,
+                          shard_shots: int | None = None
+                          ) -> tuple[float, object]:
+    """Time one fused sample→decode pipeline run at the headline point.
+
+    Pass a ``shard_shots`` below ``warmup_shots`` when measuring
+    multi-worker runs at reduced budgets: a warmup that fits in one
+    shard executes in-process and would leave pool spawn plus the
+    workers' decoder builds inside the timed region.
+    """
+    handle = build_pipeline_handle()
+    with ShardedExperiment(handle, workers=workers,
+                           shard_shots=shard_shots) as sharded:
+        if warmup_shots > 0:
+            sharded.run(warmup_shots, seed=1)
+        return _timed(lambda: sharded.run(shots, seed=0))
+
+
+def bench_sharded_pipeline(shots: int,
+                           workers_list: tuple[int, ...] = SCALING_WORKERS
+                           ) -> dict:
+    """The fused sample→decode pipeline in isolation, workers 1/2/4.
+
+    Unlike ``sharded_memory_experiment`` this times
+    ``ShardedExperiment.run`` directly — no noise-model or structure
+    (re)builds — so the row is a clean measure of the sample+decode
+    hot loop and of how it scales when every worker samples and decodes
+    its own shards.
+    """
+    handle = build_pipeline_handle()
+
+    def runner(workers):
+        with ShardedExperiment(handle, workers=workers) as sharded:
+            seconds, result = _timed(lambda: sharded.run(shots, seed=0))
+        return seconds, shots, result.failures
+
+    return _scaling_section(
+        f"{BB_CODE} fused sample+decode pipeline, {shots} shots, "
+        f"packed backend, workers sweep",
+        runner, workers_list,
+    )
 
 
 def main() -> None:
@@ -245,6 +352,9 @@ def main() -> None:
     print(f"sharded memory experiment ({shard_shots} shots, "
           "workers 1/2/4)...", flush=True)
     sections["sharded_memory_experiment"] = bench_sharded_memory(shard_shots)
+    print(f"sharded pipeline ({shard_shots} shots, workers 1/2/4)...",
+          flush=True)
+    sections["sharded_pipeline"] = bench_sharded_pipeline(shard_shots)
 
     report = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -269,11 +379,16 @@ def main() -> None:
         print(f"{name:20s} packed {section['packed_seconds']:8.2f}s  "
               f"bool {section['bool_seconds']:8.2f}s  "
               f"speedup {section['speedup']:6.1f}x")
-    sharded = sections["sharded_memory_experiment"]
-    for workers, stats in sharded["workers"].items():
-        print(f"workers={workers:<3s}          {stats['seconds']:8.2f}s  "
-              f"{stats['shots_per_second']:10.0f} shots/s  "
-              f"x{sharded['speedup_vs_single'][workers]:.2f} vs 1 worker")
+    for name in ("sharded_memory_experiment", "sharded_pipeline"):
+        sharded = sections[name]
+        print(f"{name}:")
+        for workers, stats in sharded["workers"].items():
+            print(f"  workers={workers:<3s}        {stats['seconds']:8.2f}s  "
+                  f"{stats['shots_per_second']:10.0f} shots/s  "
+                  f"x{sharded['speedup_vs_single'][workers]:.2f} vs 1 worker")
+        if sharded.get("skipped_workers"):
+            print(f"  (skipped workers {sharded['skipped_workers']}: "
+                  "single-core host)")
     print(f"\nheadline speedup: {report['headline_speedup']:.1f}x "
           f"(target >= 5x) on {report['cpu_count']} cores; "
           f"wrote {OUTPUT_PATH}")

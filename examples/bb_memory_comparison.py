@@ -6,11 +6,18 @@ or more BB codes, compile the baseline grid and Cyclone, convert their
 latencies into hardware-aware noise models, and sweep the physical
 error rate to obtain logical error rate curves for both codesigns.
 
-Run with:  python examples/bb_memory_comparison.py [shots]
+Run with:  python examples/bb_memory_comparison.py [shots] [workers]
+
+``workers`` (or the ``REPRO_WORKERS`` environment variable; ``0`` = one
+per core) runs each sweep's fused sample+decode pipeline across worker
+processes — at the 100k+ shot budgets where the LER floor gets
+interesting, that is the difference between minutes and one coffee.
+The numbers are bit-identical for any worker count.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro import code_by_name, codesign_by_name, sweep_physical_error
@@ -21,6 +28,13 @@ PHYSICAL_ERROR_RATES = [1e-4, 3e-4, 1e-3]
 
 def main() -> None:
     shots = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    if len(sys.argv) > 2:
+        workers = int(sys.argv[2])
+    else:
+        try:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        except ValueError:
+            workers = 1
 
     for code_name in CODES:
         code = code_by_name(code_name)
@@ -36,6 +50,7 @@ def main() -> None:
                 rounds=min(code.distance or 3, 4),
                 label=f"{design}, {latency / 1000:.1f} ms/round",
                 seed=5,
+                workers=workers,
             )
             print()
             print(table.to_text())

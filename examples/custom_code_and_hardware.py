@@ -12,9 +12,15 @@ Shows the extension points a downstream user would touch:
 * then estimate logical error rates for both.
 
 Run with:  python examples/custom_code_and_hardware.py
+
+Set ``REPRO_WORKERS=N`` (``0`` = one per core) to run the memory
+experiments on the fused sample+decode pipeline across worker
+processes (bit-identical results for any value).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import logical_error_rate
 from repro.codes import hypergraph_product, schedule_for
@@ -55,9 +61,14 @@ def main() -> None:
 
     # --- 5. Hardware-aware logical error rates.
     p = 1e-3
+    try:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    except ValueError:
+        workers = 1
     for label, compiled in (("cyclone", cyclone), ("baseline", baseline)):
         result = logical_error_rate(
-            code, p, compiled.execution_time_us, shots=300, rounds=3, seed=2
+            code, p, compiled.execution_time_us, shots=300, rounds=3, seed=2,
+            workers=workers,
         )
         print(f"LER at p={p:g} on {label:8s}: "
               f"{result.logical_error_rate:.4f} per shot")

@@ -12,9 +12,15 @@ This walks the library's main pipeline end to end:
    compare logical error rates.
 
 Run with:  python examples/quickstart.py
+
+Set ``REPRO_WORKERS=N`` (``0`` = one per core) to run the memory
+experiments on the fused sample+decode pipeline across N worker
+processes; the numbers are bit-identical for any value.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import (
     code_by_name,
@@ -22,6 +28,14 @@ from repro import (
     logical_error_rate,
     spacetime_comparison,
 )
+
+
+def _workers_from_env() -> int:
+    """The shared examples knob: REPRO_WORKERS (default 1, 0 = per core)."""
+    try:
+        return int(os.environ.get("REPRO_WORKERS", "1"))
+    except ValueError:
+        return 1
 
 
 def main() -> None:
@@ -49,8 +63,10 @@ def main() -> None:
 
     physical_error_rate = 5e-4
     shots = 200
+    workers = _workers_from_env()
     print(f"\nMemory experiments at p = {physical_error_rate:g} "
-          f"({shots} shots, {min(code.distance or 3, 4)} rounds)...")
+          f"({shots} shots, {min(code.distance or 3, 4)} rounds, "
+          f"workers={workers})...")
     for label, compiled in (("baseline", baseline), ("cyclone", cyclone)):
         result = logical_error_rate(
             code,
@@ -59,6 +75,7 @@ def main() -> None:
             shots=shots,
             rounds=min(code.distance or 3, 4),
             seed=1,
+            workers=workers,
         )
         print(f"  {label:10s} logical error rate per shot = "
               f"{result.logical_error_rate:.4f}   per round = "

@@ -13,8 +13,9 @@ Memory" (HPCA 2026).  The library is organised bottom-up:
     Noisy syndrome-extraction circuits, Pauli-frame sampling, detector
     error models, hardware-aware noise and BP+OSD decoding.
 ``repro.parallel``
-    Multi-process shot sharding for the decode hot path
-    (:class:`~repro.parallel.ShardedDecoder`).
+    Multi-process shot sharding: the fused sample→decode pipeline
+    (:class:`~repro.parallel.ShardedExperiment`) and decode-only
+    sharding (:class:`~repro.parallel.ShardedDecoder`).
 ``repro.qccd``
     The trapped-ion QCCD hardware simulator: topologies, timing,
     routing and the compilers (baseline grid EJF, dynamic timeslice,
@@ -65,7 +66,12 @@ from repro.core import (
     sweep_architectures,
 )
 from repro.noise import BaseNoiseModel, HardwareNoiseModel
-from repro.parallel import DecoderHandle, ShardedDecoder
+from repro.parallel import (
+    DecoderHandle,
+    ExperimentHandle,
+    ShardedDecoder,
+    ShardedExperiment,
+)
 from repro.qccd import OperationTimes
 from repro.qccd.compilers import CycloneCompiler, EJFGridCompiler
 
@@ -94,7 +100,9 @@ __all__ = [
     "BaseNoiseModel",
     "HardwareNoiseModel",
     "DecoderHandle",
+    "ExperimentHandle",
     "ShardedDecoder",
+    "ShardedExperiment",
     "OperationTimes",
     "CycloneCompiler",
     "EJFGridCompiler",

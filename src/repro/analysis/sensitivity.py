@@ -3,7 +3,10 @@
 Each function sweeps one architectural or timing knob, recompiles the
 affected codesign(s) and — where the paper's figure reports logical
 error rates — re-runs the hardware-aware memory experiment with the new
-latency.
+latency.  Every LER-producing sweep accepts ``workers=`` (``0``: one
+worker per core) to run the fused sample→decode pipeline across a
+process pool shared by all of the sweep's points; results are
+bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -27,12 +30,16 @@ __all__ = [
 ]
 
 
-def _sweep_experiment(code: CSSCode, rounds: int | None,
-                      seed: int) -> MemoryExperiment:
-    """One experiment per sweep: the space-time structure and decoder
-    graph are cached inside it, so successive operating points only
-    refresh priors instead of rebuilding identical decoders."""
-    return MemoryExperiment(code=code, rounds=rounds, seed=seed)
+def _sweep_experiment(code: CSSCode, rounds: int | None, seed: int,
+                      workers: int = 1) -> MemoryExperiment:
+    """One experiment per sweep: the space-time structure, decoder graph
+    and (for ``workers > 1``) the fused-pipeline worker pool are cached
+    inside it, so successive operating points only refresh priors
+    instead of rebuilding identical decoders or respawning processes.
+    Use as a context manager so the pool is released when the sweep
+    ends."""
+    return MemoryExperiment(code=code, rounds=rounds, seed=seed,
+                            workers=workers)
 
 
 def _ler(experiment: MemoryExperiment, physical_error_rate: float,
@@ -44,7 +51,7 @@ def _ler(experiment: MemoryExperiment, physical_error_rate: float,
 def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
                       speedups: Iterable[float] = (1.0, 2.0, 4.0),
                       shots: int = 200, rounds: int | None = None,
-                      seed: int = 0) -> ResultTable:
+                      seed: int = 0, workers: int = 1) -> ResultTable:
     """Figure 5: LER improvement when the baseline latency is divided by k.
 
     The baseline grid schedule is compiled once; its latency is then
@@ -57,15 +64,15 @@ def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
               f"p={physical_error_rate:g})",
         columns=["speedup", "round_latency_us", "logical_error_rate"],
     )
-    experiment = _sweep_experiment(code, rounds, seed)
-    for speedup in speedups:
-        scaled = latency / speedup
-        table.add_row(
-            speedup=speedup,
-            round_latency_us=scaled,
-            logical_error_rate=_ler(experiment, physical_error_rate, scaled,
-                                    shots),
-        )
+    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+        for speedup in speedups:
+            scaled = latency / speedup
+            table.add_row(
+                speedup=speedup,
+                round_latency_us=scaled,
+                logical_error_rate=_ler(experiment, physical_error_rate,
+                                        scaled, shots),
+            )
     return table
 
 
@@ -74,7 +81,8 @@ def junction_crossing_sensitivity(code: CSSCode,
                                   reductions: Iterable[float] = (
                                       0.0, 0.3, 0.5, 0.7, 0.9),
                                   shots: int = 200, rounds: int | None = None,
-                                  seed: int = 0) -> ResultTable:
+                                  seed: int = 0,
+                                  workers: int = 1) -> ResultTable:
     """Figure 9: mesh junction network LER vs junction-crossing reduction.
 
     The baseline grid row is included as the reference the mesh must
@@ -86,23 +94,24 @@ def junction_crossing_sensitivity(code: CSSCode,
         columns=["design", "junction_reduction", "execution_time_us",
                  "logical_error_rate"],
     )
-    experiment = _sweep_experiment(code, rounds, seed)
-    baseline = codesign_by_name("baseline").compile(code)
-    table.add_row(
-        design="baseline_grid", junction_reduction=0.0,
-        execution_time_us=baseline.execution_time_us,
-        logical_error_rate=_ler(experiment, physical_error_rate,
-                                baseline.execution_time_us, shots),
-    )
-    for reduction in reductions:
-        times = OperationTimes(junction_improvement_factor=reduction)
-        mesh = codesign_by_name("mesh_junction", times=times).compile(code)
+    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+        baseline = codesign_by_name("baseline").compile(code)
         table.add_row(
-            design="mesh_junction", junction_reduction=reduction,
-            execution_time_us=mesh.execution_time_us,
+            design="baseline_grid", junction_reduction=0.0,
+            execution_time_us=baseline.execution_time_us,
             logical_error_rate=_ler(experiment, physical_error_rate,
-                                    mesh.execution_time_us, shots),
+                                    baseline.execution_time_us, shots),
         )
+        for reduction in reductions:
+            times = OperationTimes(junction_improvement_factor=reduction)
+            mesh = codesign_by_name("mesh_junction",
+                                    times=times).compile(code)
+            table.add_row(
+                design="mesh_junction", junction_reduction=reduction,
+                execution_time_us=mesh.execution_time_us,
+                logical_error_rate=_ler(experiment, physical_error_rate,
+                                        mesh.execution_time_us, shots),
+            )
     return table
 
 
@@ -111,7 +120,8 @@ def trap_arrangement_sensitivity(code: CSSCode,
                                  physical_error_rate: float = 1e-4,
                                  shots: int = 200, rounds: int | None = None,
                                  include_ler: bool = True,
-                                 seed: int = 0) -> ResultTable:
+                                 seed: int = 0,
+                                 workers: int = 1) -> ResultTable:
     """Figure 13: Cyclone performance across "tight" trap/capacity points.
 
     Each point is a Cyclone ring with ``x`` traps and just enough
@@ -129,23 +139,23 @@ def trap_arrangement_sensitivity(code: CSSCode,
         columns=["num_traps", "trap_capacity", "chain_length",
                  "execution_time_us", "logical_error_rate"],
     )
-    experiment = _sweep_experiment(code, rounds, seed)
-    for x in trap_counts:
-        x = max(1, min(int(x), m_basis)) if m_basis else 1
-        compiled = CycloneCompiler(num_traps=x).compile(code)
-        row = {
-            "num_traps": x,
-            "trap_capacity": compiled.metadata["trap_capacity"],
-            "chain_length": compiled.metadata["chain_length"],
-            "execution_time_us": compiled.execution_time_us,
-            "logical_error_rate": float("nan"),
-        }
-        if include_ler:
-            row["logical_error_rate"] = _ler(
-                experiment, physical_error_rate, compiled.execution_time_us,
-                shots,
-            )
-        table.add_row(**row)
+    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+        for x in trap_counts:
+            x = max(1, min(int(x), m_basis)) if m_basis else 1
+            compiled = CycloneCompiler(num_traps=x).compile(code)
+            row = {
+                "num_traps": x,
+                "trap_capacity": compiled.metadata["trap_capacity"],
+                "chain_length": compiled.metadata["chain_length"],
+                "execution_time_us": compiled.execution_time_us,
+                "logical_error_rate": float("nan"),
+            }
+            if include_ler:
+                row["logical_error_rate"] = _ler(
+                    experiment, physical_error_rate,
+                    compiled.execution_time_us, shots,
+                )
+            table.add_row(**row)
     return table
 
 
@@ -153,7 +163,7 @@ def loose_capacity_sensitivity(code: CSSCode,
                                capacities: Iterable[int] = (5, 8, 12, 20),
                                physical_error_rate: float = 1e-4,
                                shots: int = 200, rounds: int | None = None,
-                               seed: int = 0) -> ResultTable:
+                               seed: int = 0, workers: int = 1) -> ResultTable:
     """Figure 17: baseline LER when given extra ("loose") trap capacity.
 
     The paper finds negligible improvement, confirming the baseline is
@@ -164,15 +174,15 @@ def loose_capacity_sensitivity(code: CSSCode,
               f"({code.name}, p={physical_error_rate:g})",
         columns=["trap_capacity", "execution_time_us", "logical_error_rate"],
     )
-    experiment = _sweep_experiment(code, rounds, seed)
-    for capacity in capacities:
-        compiled = EJFGridCompiler(trap_capacity=capacity).compile(code)
-        table.add_row(
-            trap_capacity=capacity,
-            execution_time_us=compiled.execution_time_us,
-            logical_error_rate=_ler(experiment, physical_error_rate,
-                                    compiled.execution_time_us, shots),
-        )
+    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+        for capacity in capacities:
+            compiled = EJFGridCompiler(trap_capacity=capacity).compile(code)
+            table.add_row(
+                trap_capacity=capacity,
+                execution_time_us=compiled.execution_time_us,
+                logical_error_rate=_ler(experiment, physical_error_rate,
+                                        compiled.execution_time_us, shots),
+            )
     return table
 
 
@@ -181,7 +191,7 @@ def operation_time_sensitivity(code: CSSCode,
                                    0.0, 0.25, 0.5, 0.75),
                                physical_error_rate: float = 1e-4,
                                shots: int = 200, rounds: int | None = None,
-                               seed: int = 0) -> ResultTable:
+                               seed: int = 0, workers: int = 1) -> ResultTable:
     """Figure 18: LER as gate and shuttling times are reduced by r.
 
     Both the baseline and Cyclone are recompiled with the improved
@@ -194,18 +204,19 @@ def operation_time_sensitivity(code: CSSCode,
         columns=["reduction", "design", "execution_time_us",
                  "logical_error_rate"],
     )
-    experiment = _sweep_experiment(code, rounds, seed)
-    for reduction in reductions:
-        times = OperationTimes(improvement_factor=reduction)
-        for design in ("baseline", "cyclone"):
-            compiled = codesign_by_name(design, times=times).compile(code)
-            table.add_row(
-                reduction=reduction,
-                design=design,
-                execution_time_us=compiled.execution_time_us,
-                logical_error_rate=_ler(experiment, physical_error_rate,
-                                        compiled.execution_time_us, shots),
-            )
+    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+        for reduction in reductions:
+            times = OperationTimes(improvement_factor=reduction)
+            for design in ("baseline", "cyclone"):
+                compiled = codesign_by_name(design, times=times).compile(code)
+                table.add_row(
+                    reduction=reduction,
+                    design=design,
+                    execution_time_us=compiled.execution_time_us,
+                    logical_error_rate=_ler(experiment, physical_error_rate,
+                                            compiled.execution_time_us,
+                                            shots),
+                )
     return table
 
 

@@ -83,15 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     memory_parser.add_argument(
         "--workers", type=int, default=1,
-        help="worker processes for the decode stage (1: in-process, "
-             "default; 0: one per CPU core; results are bit-identical "
-             "for any value)",
+        help="worker processes for the fused sample+decode pipeline "
+             "(1: in-process, default; 0: one per CPU core; each worker "
+             "samples and decodes its own shards, and results are "
+             "bit-identical for any value at a fixed --shard-shots)",
     )
     memory_parser.add_argument(
         "--shard-shots", type=int, default=None,
-        help="shots per decode shard when --workers > 1 (default: the "
-             "decoder's 2048-shot block size; batches at or below one "
-             "shard decode in-process)",
+        help="shots per pipeline shard (default: the decoder's "
+             "2048-shot block size); each shard samples from its own "
+             "seed-tree child, so compare runs at a fixed value",
     )
     memory_parser.add_argument("--output", default=None)
 

@@ -16,6 +16,15 @@ because the paper's comparisons only need the latency-driven *relative*
 behaviour) and the fully ``"circuit"``-level detector error model
 (exact circuit noise, practical for small codes and used to validate
 the fast path in the test suite).
+
+Both methods run on the fused sample→decode pipeline
+(:class:`~repro.parallel.pipeline.ShardedExperiment`): the shot budget
+splits into shards, each shard samples its own noise from a
+shard-indexed ``SeedSequence.spawn`` tree and decodes it locally —
+in-process for ``workers=1``, across a worker pool otherwise — so the
+results are bit-identical for every worker count at a fixed
+``shard_shots``, and at >100k-shot budgets neither the sampling nor
+the syndrome transfer serialises on the parent.
 """
 
 from __future__ import annotations
@@ -32,16 +41,10 @@ from repro.core.phenomenological import (
     build_phenomenological_model,
     build_spacetime_structure,
 )
-from repro.decoders.bposd import BPOSDDecoder, DecodeResult
-from repro.linalg.bitops import pack_bits, packed_matmul
 from repro.noise.hardware import HardwareNoiseModel
-from repro.parallel.sharded import (
-    DecoderHandle,
-    ShardedDecoder,
-    resolve_workers,
-)
+from repro.parallel.pipeline import ExperimentHandle, ShardedExperiment
+from repro.parallel.sharded import DecoderHandle, resolve_workers
 from repro.sim.dem import DemStructureCache
-from repro.sim.frame import FrameSimulator
 
 __all__ = ["MemoryExperiment", "MemoryResult", "logical_error_rate"]
 
@@ -115,17 +118,21 @@ class MemoryExperiment:
         throughout (simulator, DEM, decoder); ``"bool"`` selects the
         boolean reference implementations.
     workers:
-        Default worker-process count for the decode stage (``1``:
-        in-process; ``0``: one worker per core; overridable per
-        :meth:`run` call).  Results are bit-identical for every value.
+        Default worker-process count for the fused sample→decode
+        pipeline (``1``: in-process; ``0``: one worker per core;
+        overridable per :meth:`run` call).  With ``workers > 1`` each
+        worker samples *and* decodes its own shards; results are
+        bit-identical for every value at a fixed ``shard_shots``.
     shard_shots:
-        Shots per decode shard when sharding across workers (default:
-        the decoder's ``block_shots``).
+        Shots per pipeline shard (default: the decoder's
+        ``block_shots``).  Part of the determinism key: each shard
+        samples from its own seed-tree child, so runs are comparable at
+        a fixed value.
     seed:
         Root seed.  Every call to :meth:`run` derives an independent
-        child seed via ``numpy.random.SeedSequence.spawn``, so sweep
-        points are sampled with decorrelated noise realisations while
-        the sweep as a whole stays reproducible.
+        child seed via ``numpy.random.SeedSequence.spawn`` (so sweep
+        points are sampled with decorrelated noise realisations), and
+        that child roots the run's per-shard seed tree.
     """
 
     code: CSSCode
@@ -151,14 +158,12 @@ class MemoryExperiment:
             self.rounds = max(1, min(distance, 8))
         self._seed_sequence = np.random.SeedSequence(self.seed)
         # Sweep caches: the space-time structure (phenomenological), the
-        # DEM fault signatures (circuit) and the decoder graph depend
-        # only on (code, rounds, basis, decoder knobs) — all fixed for
-        # this experiment — so operating-point sweeps reuse them and
-        # merely refresh the per-point priors.
+        # DEM fault signatures (circuit) and the pipeline (decoder graph
+        # + worker pool) depend only on (code, rounds, basis, decoder
+        # knobs) — all fixed for this experiment — so operating-point
+        # sweeps reuse them and merely refresh the per-point priors.
         self._structure = None
-        self._decoder = None
-        self._decoder_matrix = None
-        self._sharded = None
+        self._pipeline = None
         self._dem_cache = None
 
     def _spawn_seed(self) -> np.random.SeedSequence:
@@ -168,9 +173,9 @@ class MemoryExperiment:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the worker pool, if one was created (idempotent)."""
-        if self._sharded is not None:
-            self._sharded.close()
-            self._sharded = None
+        if self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
 
     def __enter__(self) -> "MemoryExperiment":
         return self
@@ -184,9 +189,10 @@ class MemoryExperiment:
         """Estimate the logical error rate at one operating point.
 
         ``workers`` overrides the experiment-level default for this call
-        (``1``: in-process; ``N``: shard the decode across ``N`` worker
-        processes; ``0``: one per core).  The result is bit-identical
-        for every value — only the wall-clock changes.
+        (``1``: in-process; ``N``: run the fused sample→decode pipeline
+        across ``N`` worker processes; ``0``: one per core).  The result
+        is bit-identical for every value at a fixed ``shard_shots`` —
+        only the wall-clock changes.
         """
         workers = self.workers if workers is None else resolve_workers(workers)
         noise = HardwareNoiseModel.from_physical_error_rate(
@@ -209,54 +215,35 @@ class MemoryExperiment:
         )
 
     # ------------------------------------------------------------------
-    def _predict_observables(self, errors: np.ndarray,
-                             observable_matrix: np.ndarray,
-                             observable_packed: np.ndarray | None = None
-                             ) -> np.ndarray:
-        """``errors @ observable_matrix.T mod 2`` in the active backend."""
-        if self.backend == "packed":
-            if observable_packed is None:
-                observable_packed = pack_bits(observable_matrix, axis=1)
-            return packed_matmul(pack_bits(errors, axis=1), observable_packed)
-        return (errors @ observable_matrix.T) % 2
+    def _pipeline_for(self, check_matrix: np.ndarray,
+                      observable_matrix: np.ndarray, priors: np.ndarray,
+                      workers: int) -> ShardedExperiment:
+        """The cached fused sample→decode pipeline for this experiment.
 
-    def _decode_syndromes(self, check_matrix: np.ndarray,
-                          priors: np.ndarray, syndromes: np.ndarray,
-                          workers: int) -> DecodeResult:
-        """Decode with the cached (possibly sharded) decoder.
-
-        Decoder structure is cached by check-matrix *identity*: both
+        Pipeline structure is cached by check-matrix *identity*: both
         sweep caches hand back the same matrix object across operating
-        points, so points only refresh the priors.  Shots are decoded
-        in-process for ``workers <= 1`` and sharded across a reusable
-        process pool otherwise; the results are bit-identical.
+        points, so points only refresh the priors (shipped per shard)
+        and the worker pool persists across the sweep.  A change of
+        worker count rebuilds the pipeline (and its pool).
         """
-        if workers > 1:
-            if (self._sharded is None
-                    or self._sharded.handle.check_matrix is not check_matrix
-                    or self._sharded.workers != workers):
-                self.close()
-                handle = DecoderHandle(
+        if (self._pipeline is None
+                or self._pipeline.handle.decoder.check_matrix
+                is not check_matrix
+                or self._pipeline.workers != workers):
+            self.close()
+            handle = ExperimentHandle(
+                decoder=DecoderHandle(
                     check_matrix=check_matrix, priors=priors,
                     max_iterations=self.max_bp_iterations,
                     osd_order=self.osd_order, backend=self.backend,
-                )
-                self._sharded = ShardedDecoder(
-                    handle, workers=workers, shard_shots=self.shard_shots
-                )
-            else:
-                self._sharded.update_priors(priors)
-            return self._sharded.decode_batch(syndromes)
-        if self._decoder is None or self._decoder_matrix is not check_matrix:
-            self._decoder = BPOSDDecoder(
-                check_matrix, priors,
-                max_iterations=self.max_bp_iterations,
-                osd_order=self.osd_order, backend=self.backend,
+                ),
+                observable_matrix=observable_matrix,
+                method=self.method,
             )
-            self._decoder_matrix = check_matrix
-        else:
-            self._decoder.update_priors(priors)
-        return self._decoder.decode_batch(syndromes)
+            self._pipeline = ShardedExperiment(
+                handle, workers=workers, shard_shots=self.shard_shots
+            )
+        return self._pipeline
 
     def _run_phenomenological(self, noise: HardwareNoiseModel, shots: int,
                               workers: int) -> tuple[int, dict]:
@@ -268,26 +255,18 @@ class MemoryExperiment:
             self.code, noise, rounds=self.rounds, basis=self.basis,
             structure=self._structure,
         )
-        syndromes, observables = model.sample(
-            shots, seed=self._spawn_seed(), backend=self.backend
+        pipeline = self._pipeline_for(
+            model.check_matrix, model.observable_matrix, model.priors,
+            workers,
         )
-        decoded = self._decode_syndromes(
-            model.check_matrix, model.priors, syndromes, workers
-        )
-        predicted = self._predict_observables(
-            decoded.errors, model.observable_matrix,
-            observable_packed=self._structure.packed_observable_matrix
-            if self.backend == "packed" else None,
-        )
-        failures = int(
-            np.any(predicted.astype(bool) != observables.astype(bool), axis=1)
-            .sum()
-        )
-        return failures, {
+        outcome = pipeline.run(shots, self._spawn_seed(),
+                               priors=model.priors)
+        return outcome.failures, {
             "data_error_rate": model.data_error_rate,
             "measurement_error_rate": model.measurement_error_rate,
             "idle_error": noise.total_idle_error,
-            "bp_converged_fraction": float(decoded.bp_converged.mean()),
+            "bp_converged_fraction": outcome.bp_converged_fraction,
+            "num_shards": outcome.num_shards,
         }
 
     def _run_circuit(self, noise: HardwareNoiseModel, shots: int,
@@ -298,29 +277,23 @@ class MemoryExperiment:
         )
         # The DEM fault signatures depend on where the circuit's faults
         # live, not on their rates; across sweep points only the priors
-        # are recomputed (see DemStructureCache).
+        # are recomputed (see DemStructureCache) and only the circuit —
+        # whose noise arguments the point changed — is re-shipped to the
+        # workers, never the DEM structure.
         if self._dem_cache is None:
             self._dem_cache = DemStructureCache(backend=self.backend)
         dem = self._dem_cache.model_for(circuit)
-        sample = FrameSimulator(
-            circuit, seed=self._spawn_seed(), backend=self.backend
-        ).sample(shots)
-        decoded = self._decode_syndromes(
-            dem.check_matrix, dem.priors, sample.detectors, workers
+        pipeline = self._pipeline_for(
+            dem.check_matrix, dem.observable_matrix, dem.priors, workers
         )
-        predicted = self._predict_observables(
-            decoded.errors, dem.observable_matrix,
-            observable_packed=self._dem_cache.structure.packed_observable_matrix
-            if self.backend == "packed" else None,
-        )
-        failures = int(
-            np.any(predicted.astype(bool) != sample.observables, axis=1).sum()
-        )
-        return failures, {
+        outcome = pipeline.run(shots, self._spawn_seed(), priors=dem.priors,
+                               circuit=circuit)
+        return outcome.failures, {
             "num_detectors": dem.num_detectors,
             "num_mechanisms": dem.num_mechanisms,
             "idle_error": noise.total_idle_error,
-            "bp_converged_fraction": float(decoded.bp_converged.mean()),
+            "bp_converged_fraction": outcome.bp_converged_fraction,
+            "num_shards": outcome.num_shards,
         }
 
 
@@ -329,11 +302,12 @@ def logical_error_rate(code: CSSCode, physical_error_rate: float,
                        rounds: int | None = None, basis: str = "Z",
                        method: str = "phenomenological",
                        seed: int = 0, backend: str = "packed",
-                       workers: int = 1) -> MemoryResult:
+                       workers: int = 1,
+                       shard_shots: int | None = None) -> MemoryResult:
     """One-call convenience wrapper around :class:`MemoryExperiment`."""
     with MemoryExperiment(
         code=code, rounds=rounds, basis=basis, method=method, seed=seed,
-        backend=backend, workers=workers,
+        backend=backend, workers=workers, shard_shots=shard_shots,
     ) as experiment:
         return experiment.run(physical_error_rate, round_latency_us,
                               shots=shots)

@@ -40,6 +40,7 @@ __all__ = [
     "effective_error_rates",
     "build_spacetime_structure",
     "build_phenomenological_model",
+    "sample_phenomenological_shard",
 ]
 
 #: Fraction of two-qubit depolarizing outcomes that leave an X or Y on a
@@ -78,24 +79,53 @@ class PhenomenologicalModel:
         computes the syndromes as word-level AND/popcount parities
         instead of dense integer matrix products.
         """
-        if backend not in ("packed", "bool"):
-            raise ValueError("backend must be 'packed' or 'bool'")
-        rng = np.random.default_rng(seed)
-        errors = rng.random((shots, self.num_mechanisms)) < self.priors
-        if backend == "packed":
-            if self.structure is not None:
-                check_packed = self.structure.packed_check_matrix
-                observable_packed = self.structure.packed_observable_matrix
-            else:
-                check_packed = pack_bits(self.check_matrix, axis=1)
-                observable_packed = pack_bits(self.observable_matrix, axis=1)
-            errors_packed = pack_bits(errors, axis=1)
-            syndromes = packed_matmul(errors_packed, check_packed)
-            observables = packed_matmul(errors_packed, observable_packed)
-            return syndromes, observables
-        syndromes = (errors @ self.check_matrix.T) % 2
-        observables = (errors @ self.observable_matrix.T) % 2
-        return syndromes.astype(np.uint8), observables.astype(np.uint8)
+        if self.structure is not None and backend == "packed":
+            packed = (self.structure.packed_check_matrix,
+                      self.structure.packed_observable_matrix)
+        else:
+            packed = None
+        return sample_phenomenological_shard(
+            self.check_matrix, self.observable_matrix, self.priors,
+            shots, seed, backend=backend, packed_matrices=packed,
+        )
+
+
+def sample_phenomenological_shard(check_matrix: np.ndarray,
+                                  observable_matrix: np.ndarray,
+                                  priors: np.ndarray, shots: int, seed,
+                                  backend: str = "packed",
+                                  packed_matrices: tuple[np.ndarray,
+                                                         np.ndarray]
+                                  | None = None
+                                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one shard of phenomenological (syndromes, observable flips).
+
+    Shard-local sampling entry point shared by
+    :meth:`PhenomenologicalModel.sample` and the fused sample→decode
+    pipeline (:mod:`repro.parallel.pipeline`): the error realisation is
+    drawn entirely from ``seed`` (any ``numpy.random.default_rng``
+    input, including a ``SeedSequence`` child), so a shard produces the
+    same bits in whichever process it runs.  ``packed_matrices`` may
+    carry pre-packed ``(check, observable)`` matrices (packed along the
+    mechanism axis) to skip re-packing per shard.
+    """
+    if backend not in ("packed", "bool"):
+        raise ValueError("backend must be 'packed' or 'bool'")
+    rng = np.random.default_rng(seed)
+    errors = rng.random((shots, check_matrix.shape[1])) < priors
+    if backend == "packed":
+        if packed_matrices is not None:
+            check_packed, observable_packed = packed_matrices
+        else:
+            check_packed = pack_bits(check_matrix, axis=1)
+            observable_packed = pack_bits(observable_matrix, axis=1)
+        errors_packed = pack_bits(errors, axis=1)
+        syndromes = packed_matmul(errors_packed, check_packed)
+        observables = packed_matmul(errors_packed, observable_packed)
+        return syndromes, observables
+    syndromes = (errors @ check_matrix.T) % 2
+    observables = (errors @ observable_matrix.T) % 2
+    return syndromes.astype(np.uint8), observables.astype(np.uint8)
 
 
 def effective_error_rates(code: CSSCode, noise: HardwareNoiseModel,

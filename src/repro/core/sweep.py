@@ -30,10 +30,13 @@ def sweep_physical_error(code: CSSCode, round_latency_us: float,
                          shard_shots: int | None = None) -> ResultTable:
     """Logical error rate vs physical error rate at a fixed latency.
 
-    ``workers`` shards each point's decode across that many worker
-    processes (``0``: one per core); the structure caches and the worker
-    pool are shared by all points of the sweep.  ``shard_shots``
-    overrides the default shots-per-shard (the decoder's block size).
+    ``workers`` runs each point's fused sample→decode pipeline across
+    that many worker processes (``0``: one per core) — every worker
+    samples and decodes its own shard, and the results are bit-identical
+    for any worker count at a fixed ``shard_shots``.  The structure
+    caches and the worker pool are shared by all points of the sweep.
+    ``shard_shots`` overrides the default shots-per-shard (the decoder's
+    block size).
     """
     table = ResultTable(
         title=f"LER sweep: {code.name} ({label or 'latency ' + str(round_latency_us) + ' us'})",
@@ -64,9 +67,9 @@ def sweep_architectures(code: CSSCode, codesigns: Sequence[Codesign],
                         shard_shots: int | None = None) -> ResultTable:
     """Compare codesigns on one code: latency, spatial cost and (optionally) LER.
 
-    ``workers`` shards each codesign's decode across worker processes
-    (``0``: one per core), sharing one pool across the sweep;
-    ``shard_shots`` overrides the shots-per-shard default.
+    ``workers`` runs each codesign's fused sample→decode pipeline across
+    worker processes (``0``: one per core), sharing one pool across the
+    sweep; ``shard_shots`` overrides the shots-per-shard default.
     """
     columns = ["codesign", "execution_time_us", "num_traps", "num_junctions",
                "num_ancilla", "dac_count", "spacetime_cost",

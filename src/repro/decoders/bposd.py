@@ -12,7 +12,10 @@ columns and keeps the most likely consistent solution.
 Two backends are provided.  ``backend="packed"`` (default) runs BP with
 an active-set mask (converged shots drop out of message passing) and
 OSD-E with a single Gauss-Jordan factorization per shot that is reused
-across all ``2**osd_order`` trial patterns.  ``backend="bool"`` is the
+across all ``2**osd_order`` trial patterns — and shared across *shots*
+whose BP posteriors produce the same column order (a keyed cache in
+:class:`~repro.decoders.gf2dense.PackedGF2Matrix`, common at low error
+rates where posteriors tie).  ``backend="bool"`` is the
 reference implementation: full-batch BP and a fresh elimination per
 trial pattern.  Both return identical corrections for identical BP soft
 output.
@@ -52,7 +55,8 @@ class BPOSDDecoder:
     def __init__(self, check_matrix: np.ndarray, priors: np.ndarray,
                  max_iterations: int = 50, osd_order: int = 0,
                  scaling_factor: float = 0.75,
-                 backend: str = "packed", block_shots: int = 2048) -> None:
+                 backend: str = "packed", block_shots: int = 2048,
+                 factor_cache_size: int = 32) -> None:
         if backend not in ("packed", "bool"):
             raise ValueError("backend must be 'packed' or 'bool'")
         if block_shots < 1:
@@ -64,13 +68,18 @@ class BPOSDDecoder:
         self.osd_order = int(osd_order)
         self.backend = backend
         self.block_shots = int(block_shots)
+        # Cross-shot OSD factorization sharing; each retained entry
+        # holds an O(checks^2/8)-byte row transform, so decoders over
+        # very large detector sets can shrink or disable (0) the cache.
+        self.factor_cache_size = int(factor_cache_size)
         self._bp = BeliefPropagationDecoder(
             self.check_matrix, self.priors,
             max_iterations=max_iterations, scaling_factor=scaling_factor,
             active_set=(backend == "packed"),
             packed_verification=(backend == "packed"),
         )
-        self._packed = PackedGF2Matrix(self.check_matrix)
+        self._packed = PackedGF2Matrix(self.check_matrix,
+                                       factor_cache_size=factor_cache_size)
 
     @property
     def num_checks(self) -> int:
@@ -134,12 +143,17 @@ class BPOSDDecoder:
         # Most-likely-to-be-flipped first: ascending LLR.
         column_order = np.argsort(posterior_llrs, kind="stable")
         if self.backend == "packed" and self.osd_order > 0:
-            # Only OSD-E benefits from a reusable factorization; OSD-0
-            # solves exactly once, where the direct elimination is
-            # cheaper (no row-transform accumulation).
             return self._osd_factored(syndrome, posterior_llrs, column_order)
         try:
-            solution = self._packed.gauss_jordan_solve(column_order, syndrome)
+            if self.backend == "packed":
+                # OSD-0 solves each syndrome once, but shots whose BP
+                # posteriors tie on the same column order (common at low
+                # error rates) replay a shared elimination — identical
+                # solutions, see PackedGF2Matrix.solve_ordered.
+                solution = self._packed.solve_ordered(column_order, syndrome)
+            else:
+                solution = self._packed.gauss_jordan_solve(column_order,
+                                                           syndrome)
         except ValueError:
             # Inconsistent system (possible when the DEM does not span the
             # observed syndrome, e.g. under truncated noise enumeration);

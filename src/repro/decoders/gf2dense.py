@@ -4,9 +4,19 @@ OSD re-solves the syndrome equation with columns ordered by BP soft
 reliability for every shot whose BP decode did not converge.  Packing
 rows into bytes keeps each elimination fast enough to run inside a
 Monte-Carlo loop.
+
+A factorization depends only on the matrix and the column order — never
+on the syndrome — and at low error rates many shots produce the *same*
+BP posterior ordering (ties resolve identically under the stable
+argsort).  :class:`PackedGF2Matrix` therefore keeps a small keyed cache
+of factorizations: shots that repeat a column order replay the stored
+elimination (two cheap packed products) instead of eliminating from
+scratch, with bit-identical solutions by construction.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -14,20 +24,46 @@ __all__ = ["PackedGF2Matrix", "GF2Factorization"]
 
 
 class PackedGF2Matrix:
-    """A dense GF(2) matrix packed along rows (8 columns per byte)."""
+    """A dense GF(2) matrix packed along rows (8 columns per byte).
 
-    def __init__(self, matrix: np.ndarray) -> None:
+    ``factor_cache_size`` bounds the keyed factorization cache (see the
+    module docstring); ``0`` disables caching entirely.
+    """
+
+    def __init__(self, matrix: np.ndarray,
+                 factor_cache_size: int = 32) -> None:
         matrix = np.asarray(matrix, dtype=np.uint8)
         if matrix.ndim != 2:
             raise ValueError("expected a 2-D matrix")
         self.num_rows, self.num_cols = matrix.shape
         self._packed = np.packbits(matrix, axis=1)
+        # Keyed factorization cache: column-order bytes -> factorization,
+        # or None for an order seen exactly once (not yet worth the
+        # row-transform accumulation).  LRU-bounded so OSD-heavy
+        # workloads with non-repeating orders stay memory-flat.
+        self._factor_cache: OrderedDict[bytes, GF2Factorization | None] = \
+            OrderedDict()
+        self._factor_cache_size = int(factor_cache_size)
+        self.factor_cache_hits = 0
+        self.factor_cache_builds = 0
 
     def column_bit(self, rows: np.ndarray, column: int) -> np.ndarray:
         """Bit values of ``column`` for the given row indices."""
         byte_index = column // 8
         shift = 7 - (column % 8)
         return (self._packed[rows, byte_index] >> shift) & 1
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _order_key(column_order: np.ndarray) -> bytes:
+        return np.ascontiguousarray(column_order, dtype=np.intp).tobytes()
+
+    def _cache_store(self, key: bytes,
+                     value: "GF2Factorization | None") -> None:
+        self._factor_cache[key] = value
+        self._factor_cache.move_to_end(key)
+        while len(self._factor_cache) > self._factor_cache_size:
+            self._factor_cache.popitem(last=False)
 
     def gauss_jordan_solve(self, column_order: np.ndarray,
                            syndrome: np.ndarray) -> np.ndarray:
@@ -54,15 +90,64 @@ class PackedGF2Matrix:
         solution[pivot_cols] = syndrome[:rank]
         return solution
 
-    def factorize(self, column_order: np.ndarray) -> "GF2Factorization":
+    def factorize(self, column_order: np.ndarray,
+                  cache: bool = True) -> "GF2Factorization":
         """Eliminate once under ``column_order`` for repeated solves.
 
         Pivot selection depends only on the matrix and the column order,
         never on the right-hand side, so OSD-E can factor once per shot
         and reuse the factorization across all trial syndromes instead
         of re-eliminating from scratch for each pattern.
+
+        With ``cache=True`` (default) the factorization is additionally
+        shared **across shots**: shots whose BP posteriors produce the
+        same column order — common at low error rates, where most
+        unconverged shots tie on the prior ordering — get the stored
+        elimination back instead of recomputing it.  A cached
+        factorization is the same deterministic object a fresh build
+        would produce, so corrections are bit-identical either way.
         """
-        return GF2Factorization(self, column_order)
+        if not cache or self._factor_cache_size <= 0:
+            return GF2Factorization(self, column_order)
+        key = self._order_key(column_order)
+        entry = self._factor_cache.get(key)
+        if isinstance(entry, GF2Factorization):
+            self.factor_cache_hits += 1
+            self._factor_cache.move_to_end(key)
+            return entry
+        factor = GF2Factorization(self, column_order)
+        self.factor_cache_builds += 1
+        self._cache_store(key, factor)
+        return factor
+
+    def solve_ordered(self, column_order: np.ndarray,
+                      syndrome: np.ndarray) -> np.ndarray:
+        """OSD-0 solve that shares eliminations across repeating orders.
+
+        Identical output to :meth:`gauss_jordan_solve` (including the
+        ``ValueError`` on inconsistent systems), but adaptive about the
+        work: the first time a column order is seen it solves directly
+        (no row-transform accumulation); an order that *repeats* is
+        factorized on its second sighting and every later shot with the
+        same order replays the stored elimination.
+        """
+        if self._factor_cache_size <= 0:
+            return self.gauss_jordan_solve(column_order, syndrome)
+        key = self._order_key(column_order)
+        entry = self._factor_cache.get(key)
+        if isinstance(entry, GF2Factorization):
+            self.factor_cache_hits += 1
+            self._factor_cache.move_to_end(key)
+            return entry.solve(syndrome)
+        if key in self._factor_cache:
+            # Second sighting: the order repeats, so the factorization
+            # will pay for itself on the shots still to come.
+            factor = GF2Factorization(self, column_order)
+            self.factor_cache_builds += 1
+            self._cache_store(key, factor)
+            return factor.solve(syndrome)
+        self._cache_store(key, None)
+        return self.gauss_jordan_solve(column_order, syndrome)
 
 
 def _gauss_jordan(packed: np.ndarray, carry: np.ndarray,

@@ -1,12 +1,29 @@
-"""Multi-process shot sharding for the decode hot path.
+"""Multi-process shot sharding for the simulation/decoding hot path.
 
-Shots of a memory experiment are statistically independent, so the
-decode of a large syndrome batch splits into shard-sized slices that
-worker processes handle concurrently — bit-identically to an in-process
-decode, for any worker count.  See :mod:`repro.parallel.sharded` for the
-design and `docs/performance.md` for the measured scaling.
+Shots of a memory experiment are statistically independent, so the shot
+axis shards across worker processes — bit-identically to an in-process
+run, for any worker count.  Two layers are available:
+
+* :class:`ShardedExperiment` — the fused sample→decode pipeline: each
+  worker samples its own shard (from a shard-indexed
+  ``SeedSequence.spawn`` tree) and decodes it locally, so syndromes
+  never cross a process boundary.  This is what
+  :class:`~repro.core.memory.MemoryExperiment` runs on.
+* :class:`ShardedDecoder` — decode-only sharding for callers that
+  already hold a syndrome batch (e.g. syndromes replayed from disk or
+  produced by an external sampler).
+
+See :mod:`repro.parallel.pipeline` / :mod:`repro.parallel.sharded` for
+the designs and `docs/performance.md` for the measured scaling.
 """
 
+from repro.parallel.pipeline import (
+    ExperimentHandle,
+    PipelineResult,
+    ShardedExperiment,
+    shard_layout,
+    shard_seed_tree,
+)
 from repro.parallel.sharded import (
     DecoderHandle,
     ShardedDecoder,
@@ -15,6 +32,11 @@ from repro.parallel.sharded import (
 
 __all__ = [
     "DecoderHandle",
+    "ExperimentHandle",
+    "PipelineResult",
     "ShardedDecoder",
+    "ShardedExperiment",
     "resolve_workers",
+    "shard_layout",
+    "shard_seed_tree",
 ]

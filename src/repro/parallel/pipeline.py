@@ -1,0 +1,388 @@
+"""Fused sample→decode pipeline, sharded across worker processes.
+
+PR 2 sharded the *decode* stage: the parent sampled every shot, then
+pickled syndrome slices out to a process pool.  At 100k–1M shot budgets
+that leaves the Pauli-frame sampler and the syndrome transfer as the
+serial wall-clock floor.  This module moves the whole per-shard pipeline
+into the worker: each shard **samples its own shots and decodes them
+locally**, so syndromes never cross a process boundary and the sampling
+of one shard overlaps the decoding of another.
+
+Determinism contract
+--------------------
+Results must be **bit-identical for any** ``workers=`` — parallelism is
+a wall-clock knob, never a statistics knob.  The sampled stream is
+therefore keyed on ``(seed, shard_shots, shard_index)``, not on which
+process runs a shard:
+
+* ``shard_layout(shots, shard_shots)`` splits the shot budget into
+  deterministic shard sizes (all ``shard_shots`` except a ragged tail);
+* ``shard_seed_tree(seed, num_shards)`` derives one independent child
+  ``SeedSequence`` per shard via ``SeedSequence.spawn`` — child ``i``
+  depends only on the root entropy and the shard index ``i``;
+* shard ``i`` samples its shots from child ``i`` and decodes them with
+  the shared decoder recipe; results are merged by shard index, never
+  by completion order.
+
+Because every shard's bits are a pure function of ``(seed, shard_shots,
+shard_index)``, running the shards in-process (``workers=1``), across 2
+workers, or across 4 produces the same samples, the same corrections,
+the same convergence flags and the same failure count.  ``workers=1``
+runs the identical per-shard code path in the parent and is the
+cross-checked reference (`tests/test_fused_pipeline.py`).
+
+Design
+------
+* :class:`ExperimentHandle` is a picklable recipe for the whole
+  pipeline: the decoder recipe (:class:`~repro.parallel.sharded.DecoderHandle`
+  — check matrix, priors, BP/OSD knobs, backend), the observable
+  matrix, and the sampling method (``"phenomenological"`` samples
+  mechanism errors against the check matrix; ``"circuit"`` frame-
+  simulates a circuit shipped per operating point).
+* :class:`ShardedExperiment` owns the lazily created
+  ``ProcessPoolExecutor``.  Workers receive the handle once via the
+  pool initializer and build the decoder + packed matrices on their
+  first shard; each shard task then ships only the per-point priors,
+  the per-shard seed and — for the circuit method — the operating
+  point's circuit.  The circuit rides along with *every* shard task
+  (``ProcessPoolExecutor`` has no per-point broadcast), which is a few
+  KB of pickle per task against a multi-second decode; a worker-side
+  circuit cache is a noted follow-up for >10^6-shot circuit-level
+  budgets (see ROADMAP.md).
+* The sweep caches stay in the parent: ``MemoryExperiment`` reuses its
+  ``DemStructureCache`` / space-time structure across points and hands
+  the pipeline the *same* check-matrix object each time, so the handle
+  (and the workers' decoder structure) is built exactly once per sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.core.phenomenological import sample_phenomenological_shard
+from repro.decoders.bposd import BPOSDDecoder
+from repro.linalg.bitops import pack_bits, packed_matmul
+from repro.parallel.sharded import DecoderHandle, resolve_workers
+from repro.sim.frame import sample_circuit_shard
+
+__all__ = [
+    "ExperimentHandle",
+    "ShardedExperiment",
+    "PipelineResult",
+    "shard_layout",
+    "shard_seed_tree",
+]
+
+
+def shard_layout(shots: int, shard_shots: int) -> list[int]:
+    """Deterministic shard sizes for a shot budget.
+
+    Every shard holds ``shard_shots`` shots except a possible ragged
+    tail.  The layout depends only on ``(shots, shard_shots)`` — never
+    on the worker count — which is what makes the per-shard seed tree
+    (and therefore every sampled bit) worker-count independent.
+    """
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    if shard_shots < 1:
+        raise ValueError("shard_shots must be positive")
+    sizes = [shard_shots] * (shots // shard_shots)
+    if shots % shard_shots:
+        sizes.append(shots % shard_shots)
+    return sizes
+
+
+def shard_seed_tree(seed, num_shards: int) -> list[np.random.SeedSequence]:
+    """One independent child ``SeedSequence`` per shard.
+
+    ``seed`` may be an int or a ``SeedSequence``; either way the tree is
+    rebuilt from the root's ``(entropy, spawn_key)`` value, so the
+    children depend only on the seed *value* and the shard index — not
+    on how many times the caller's sequence object has spawned before,
+    and not on which worker later consumes a child.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = np.random.SeedSequence(entropy=seed.entropy,
+                                      spawn_key=seed.spawn_key)
+    else:
+        root = np.random.SeedSequence(seed)
+    return root.spawn(num_shards) if num_shards else []
+
+
+@dataclass
+class PipelineResult:
+    """Merged outcome of a sharded sample→decode run.
+
+    ``failures`` counts shots whose predicted observables disagree with
+    the sampled ones; ``bp_converged`` concatenates the per-shard BP
+    convergence flags in shard order.  ``errors`` holds the merged
+    corrections only when the run collected them
+    (``collect_errors=True`` — the hot path keeps them worker-local).
+    """
+
+    shots: int
+    failures: int
+    bp_converged: np.ndarray
+    num_shards: int
+    errors: np.ndarray | None = None
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.failures / self.shots if self.shots else 0.0
+
+    @property
+    def bp_converged_fraction(self) -> float:
+        if self.bp_converged.size == 0:
+            return 1.0
+        return float(self.bp_converged.mean())
+
+
+@dataclass(frozen=True)
+class ExperimentHandle:
+    """Picklable recipe for the fused sample→decode pipeline.
+
+    ``decoder`` carries the check matrix, priors and decoder knobs (and
+    the backend, which the sampling stage shares); ``observable_matrix``
+    maps corrections and true errors to logical observables; ``method``
+    selects the sampler: ``"phenomenological"`` draws mechanism errors
+    against the check matrix, ``"circuit"`` frame-simulates the circuit
+    shipped with each run.
+    """
+
+    decoder: DecoderHandle
+    observable_matrix: np.ndarray
+    method: str = "phenomenological"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("phenomenological", "circuit"):
+            raise ValueError("method must be 'phenomenological' or 'circuit'")
+
+    @property
+    def backend(self) -> str:
+        return self.decoder.backend
+
+    def build_state(self) -> "_PipelineState":
+        """Construct the per-process sampling + decoding state."""
+        return _PipelineState(self)
+
+
+class _PipelineState:
+    """Per-process state: the decoder plus packed projection matrices.
+
+    Built once per process (lazily, on the first shard) and re-priored
+    — never rebuilt — on subsequent shards and sweep points, exactly
+    like PR 2's worker-side decoder cache.
+    """
+
+    def __init__(self, handle: ExperimentHandle) -> None:
+        self.handle = handle
+        self.decoder = handle.decoder.build()
+        if handle.backend == "packed":
+            self.packed_check = pack_bits(self.decoder.check_matrix, axis=1)
+            self.packed_observable = pack_bits(handle.observable_matrix,
+                                               axis=1)
+        else:
+            self.packed_check = None
+            self.packed_observable = None
+
+    # ------------------------------------------------------------------
+    def predict_observables(self, errors: np.ndarray) -> np.ndarray:
+        """``errors @ observable_matrix.T mod 2`` in the active backend."""
+        if self.handle.backend == "packed":
+            return packed_matmul(pack_bits(errors, axis=1),
+                                 self.packed_observable)
+        return (errors @ self.handle.observable_matrix.T) % 2
+
+    def run_shard(self, priors: np.ndarray, circuit: Circuit | None,
+                  seed: np.random.SeedSequence, shots: int,
+                  collect_errors: bool
+                  ) -> tuple[int, np.ndarray, np.ndarray | None]:
+        """Sample and decode one shard; returns (failures, flags, errors).
+
+        The single code path shared by the in-process reference and the
+        pool workers — bit-identity across worker counts follows from
+        everything here being a pure function of the arguments.
+        """
+        self.decoder.update_priors(priors)
+        if self.handle.method == "phenomenological":
+            syndromes, observables = sample_phenomenological_shard(
+                self.decoder.check_matrix, self.handle.observable_matrix,
+                priors, shots, seed, backend=self.handle.backend,
+                packed_matrices=(self.packed_check, self.packed_observable)
+                if self.handle.backend == "packed" else None,
+            )
+        else:
+            if circuit is None:
+                raise ValueError("the circuit method needs a circuit per run")
+            sample = sample_circuit_shard(circuit, shots, seed,
+                                          backend=self.handle.backend)
+            syndromes, observables = sample.detectors, sample.observables
+        decoded = self.decoder.decode_batch(syndromes)
+        predicted = self.predict_observables(decoded.errors)
+        failures = int(
+            np.any(predicted.astype(bool) != observables.astype(bool),
+                   axis=1).sum()
+        )
+        return (failures, decoded.bp_converged,
+                decoded.errors if collect_errors else None)
+
+
+# Per-process worker state: the handle arrives once via the pool
+# initializer; the pipeline state it describes is built lazily on the
+# first shard and re-priored (never rebuilt) on subsequent shards.
+_WORKER_HANDLE: ExperimentHandle | None = None
+_WORKER_STATE: _PipelineState | None = None
+
+
+def _init_pipeline_worker(handle: ExperimentHandle) -> None:
+    global _WORKER_HANDLE, _WORKER_STATE
+    _WORKER_HANDLE = handle
+    _WORKER_STATE = None
+
+
+def _run_pipeline_shard(priors: np.ndarray, circuit: Circuit | None,
+                        seed: np.random.SeedSequence, shots: int,
+                        collect_errors: bool
+                        ) -> tuple[int, np.ndarray, np.ndarray | None]:
+    """Sample and decode one shard inside a worker process."""
+    global _WORKER_STATE
+    if _WORKER_HANDLE is None:
+        raise RuntimeError("worker pool was not initialised with a handle")
+    if _WORKER_STATE is None:
+        _WORKER_STATE = _WORKER_HANDLE.build_state()
+    return _WORKER_STATE.run_shard(priors, circuit, seed, shots,
+                                   collect_errors)
+
+
+@dataclass
+class ShardedExperiment:
+    """Shard a full sample→decode experiment across worker processes.
+
+    Parameters
+    ----------
+    handle:
+        The picklable pipeline recipe shared with every worker.
+    workers:
+        Worker-process count (``None`` -> 1 = in-process, ``0`` -> one
+        per core).  Any value produces bit-identical results at fixed
+        ``shard_shots``; with one worker no pool is created at all.
+    shard_shots:
+        Shots per shard (default: the decoder's ``block_shots``).  Part
+        of the determinism key — changing it changes which seed-tree
+        child samples which shot, so compare runs at a fixed value.
+
+    The executor is created lazily on the first multi-shard run and
+    reused across calls (a sweep pays the process-spawn cost once);
+    :meth:`close` — or using the instance as a context manager —
+    releases it.
+    """
+
+    handle: ExperimentHandle
+    workers: int | None = None
+    shard_shots: int | None = None
+    _executor: object | None = field(default=None, init=False, repr=False)
+    _local: _PipelineState | None = field(default=None, init=False,
+                                          repr=False)
+
+    def __post_init__(self) -> None:
+        self.workers = resolve_workers(self.workers)
+        if self.shard_shots is None:
+            self.shard_shots = self.handle.decoder.block_shots
+        if self.shard_shots < 1:
+            raise ValueError("shard_shots must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def local_state(self) -> _PipelineState:
+        """The in-process pipeline state (built on first use)."""
+        if self._local is None:
+            self._local = self.handle.build_state()
+        return self._local
+
+    # ------------------------------------------------------------------
+    def run(self, shots: int, seed, priors: np.ndarray | None = None,
+            circuit: Circuit | None = None,
+            collect_errors: bool = False) -> PipelineResult:
+        """Sample and decode ``shots`` shots, sharded across the pool.
+
+        ``seed`` roots the shard seed tree (int or ``SeedSequence``;
+        see :func:`shard_seed_tree`).  ``priors`` refresh the decoder
+        (and, for the phenomenological method, the sampler) at this
+        operating point without rebuilding any structure; ``circuit``
+        must carry the operating point's noisy circuit for the
+        ``"circuit"`` method.  ``collect_errors=True`` additionally
+        merges the per-shot corrections into the result (shipping them
+        back from the workers — test/debug use, not the hot path).
+        """
+        if priors is None:
+            priors = self.handle.decoder.priors
+        priors = np.asarray(priors, dtype=float)
+        sizes = shard_layout(shots, self.shard_shots)
+        seeds = shard_seed_tree(seed, len(sizes))
+        tasks = list(zip(sizes, seeds))
+        if self.workers <= 1 or len(tasks) <= 1:
+            outcomes = [
+                self.local_state.run_shard(priors, circuit, shard_seed,
+                                           shard_size, collect_errors)
+                for shard_size, shard_seed in tasks
+            ]
+        else:
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(_run_pipeline_shard, priors, circuit,
+                                shard_seed, shard_size, collect_errors)
+                for shard_size, shard_seed in tasks
+            ]
+            # Merge by submission (shard) order: completion order is
+            # scheduler-dependent and must not leak into the result.
+            outcomes = [future.result() for future in futures]
+        failures = sum(outcome[0] for outcome in outcomes)
+        if outcomes:
+            bp_converged = np.concatenate([o[1] for o in outcomes])
+        else:
+            bp_converged = np.zeros(0, dtype=bool)
+        errors = None
+        if collect_errors:
+            if outcomes:
+                errors = np.concatenate([o[2] for o in outcomes])
+            else:
+                errors = np.zeros(
+                    (0, self.handle.decoder.check_matrix.shape[1]),
+                    dtype=np.uint8,
+                )
+        return PipelineResult(shots=shots, failures=failures,
+                              bp_converged=bp_converged,
+                              num_shards=len(sizes), errors=errors)
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self):
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_pipeline_worker,
+                initargs=(self.handle,),
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedExperiment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass

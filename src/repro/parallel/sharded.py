@@ -68,6 +68,7 @@ class DecoderHandle:
     scaling_factor: float = 0.75
     backend: str = "packed"
     block_shots: int = 2048
+    factor_cache_size: int = 32
 
     @classmethod
     def from_decoder(cls, decoder: BPOSDDecoder) -> "DecoderHandle":
@@ -80,6 +81,7 @@ class DecoderHandle:
             scaling_factor=decoder.scaling_factor,
             backend=decoder.backend,
             block_shots=decoder.block_shots,
+            factor_cache_size=decoder.factor_cache_size,
         )
 
     def build(self) -> BPOSDDecoder:
@@ -91,6 +93,7 @@ class DecoderHandle:
             scaling_factor=self.scaling_factor,
             backend=self.backend,
             block_shots=self.block_shots,
+            factor_cache_size=self.factor_cache_size,
         )
 
     def with_priors(self, priors: np.ndarray) -> "DecoderHandle":

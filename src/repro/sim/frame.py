@@ -37,7 +37,8 @@ from repro.linalg.bitops import (
     unpack_bits,
 )
 
-__all__ = ["FrameSimulator", "SampleResult", "FaultInjection"]
+__all__ = ["FrameSimulator", "SampleResult", "FaultInjection",
+           "sample_circuit_shard"]
 
 
 @dataclass
@@ -80,6 +81,23 @@ class FaultInjection:
     x_flips: tuple[int, ...] = ()
     z_flips: tuple[int, ...] = ()
     measurement_flip: int | None = None
+
+
+def sample_circuit_shard(circuit: Circuit, shots: int, seed,
+                         backend: str = "packed",
+                         return_measurements: bool = False) -> SampleResult:
+    """Sample one shard of a circuit-level experiment from its own seed.
+
+    This is the shard-local sampling entry point of the fused
+    sample→decode pipeline (:mod:`repro.parallel.pipeline`): every shard
+    of a sharded experiment draws its noise from an independent
+    ``SeedSequence`` child stream, so the concatenation of shard samples
+    is bit-identical no matter which process — parent or any worker —
+    executes the shard.  ``seed`` accepts anything
+    ``numpy.random.default_rng`` does, including a ``SeedSequence``.
+    """
+    simulator = FrameSimulator(circuit, seed=seed, backend=backend)
+    return simulator.sample(shots, return_measurements=return_measurements)
 
 
 class FrameSimulator:

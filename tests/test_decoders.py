@@ -74,6 +74,115 @@ class TestPackedGF2Matrix:
         assert np.array_equal((matrix @ solution) % 2, syndrome)
 
 
+class TestFactorizationCache:
+    """The keyed factorization cache must change work, never results."""
+
+    def _system(self, seed=3, rows=8, cols=14):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2, (rows, cols), dtype=np.uint8)
+        x = rng.integers(0, 2, cols, dtype=np.uint8)
+        return matrix, ((matrix @ x) % 2).astype(np.uint8)
+
+    def test_factorize_returns_cached_object_on_repeat(self):
+        matrix, _ = self._system()
+        packed = PackedGF2Matrix(matrix)
+        order = np.arange(matrix.shape[1])
+        first = packed.factorize(order)
+        second = packed.factorize(order)
+        assert second is first
+        assert packed.factor_cache_hits == 1
+        assert packed.factor_cache_builds == 1
+
+    def test_cache_disabled_builds_fresh(self):
+        matrix, _ = self._system()
+        packed = PackedGF2Matrix(matrix, factor_cache_size=0)
+        order = np.arange(matrix.shape[1])
+        assert packed.factorize(order) is not packed.factorize(order)
+        assert packed.factor_cache_hits == 0
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_solve_ordered_matches_gauss_jordan(self, seed):
+        rng = np.random.default_rng(seed)
+        rows, cols = rng.integers(1, 12, 2)
+        matrix = rng.integers(0, 2, (rows, cols), dtype=np.uint8)
+        order = rng.permutation(cols)
+        cached = PackedGF2Matrix(matrix)
+        reference = PackedGF2Matrix(matrix, factor_cache_size=0)
+        for _ in range(4):  # cover miss, second-sighting, and hit paths
+            x = rng.integers(0, 2, cols, dtype=np.uint8)
+            syndrome = ((matrix @ x) % 2).astype(np.uint8)
+            assert np.array_equal(
+                cached.solve_ordered(order, syndrome),
+                reference.gauss_jordan_solve(order, syndrome),
+            )
+
+    def test_solve_ordered_factorizes_on_second_sighting(self):
+        matrix, syndrome = self._system()
+        packed = PackedGF2Matrix(matrix)
+        order = np.arange(matrix.shape[1])
+        packed.solve_ordered(order, syndrome)  # first: direct solve
+        assert packed.factor_cache_builds == 0
+        packed.solve_ordered(order, syndrome)  # second: factorize
+        assert packed.factor_cache_builds == 1
+        packed.solve_ordered(order, syndrome)  # third: replay
+        assert packed.factor_cache_hits == 1
+
+    def test_solve_ordered_inconsistent_raises_on_every_path(self):
+        matrix = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        packed = PackedGF2Matrix(matrix)
+        order = np.arange(2)
+        bad = np.array([1, 0], dtype=np.uint8)
+        for _ in range(3):  # direct, factorizing and cached-replay paths
+            with pytest.raises(ValueError):
+                packed.solve_ordered(order, bad)
+
+    def test_cache_is_lru_bounded(self):
+        matrix, _ = self._system()
+        packed = PackedGF2Matrix(matrix, factor_cache_size=4)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            packed.factorize(rng.permutation(matrix.shape[1]))
+        assert len(packed._factor_cache) == 4
+
+    def test_osd_corrections_identical_with_and_without_cache(self):
+        """BP+OSD corrections must not depend on cache state — decode
+        the same batch twice (cold cache vs warm cache) and against a
+        cache-disabled decoder."""
+        code = surface_code(5)
+        matrix = code.hz
+        rng = np.random.default_rng(17)
+        priors = np.full(matrix.shape[1], 0.05)
+        errors = rng.random((120, matrix.shape[1])) < 0.06
+        syndromes = ((errors @ matrix.T) % 2).astype(np.uint8)
+        for osd_order in (0, 2):
+            decoder = BPOSDDecoder(matrix, priors, max_iterations=15,
+                                   osd_order=osd_order, backend="packed")
+            cold = decoder.decode_batch(syndromes)
+            warm = decoder.decode_batch(syndromes)
+            uncached = BPOSDDecoder(matrix, priors, max_iterations=15,
+                                    osd_order=osd_order, backend="packed")
+            uncached._packed = PackedGF2Matrix(matrix, factor_cache_size=0)
+            reference = uncached.decode_batch(syndromes)
+            assert np.array_equal(cold.errors, warm.errors)
+            assert np.array_equal(cold.errors, reference.errors)
+
+    def test_cache_hits_on_low_error_rate_workload(self):
+        """At low error rates BP posteriors tie on the prior ordering,
+        so unconverged shots repeat the same column order — the whole
+        point of sharing factorizations across shots."""
+        code = surface_code(5)
+        matrix = code.hz
+        rng = np.random.default_rng(23)
+        priors = np.full(matrix.shape[1], 0.05)
+        errors = rng.random((300, matrix.shape[1])) < 0.04
+        syndromes = ((errors @ matrix.T) % 2).astype(np.uint8)
+        decoder = BPOSDDecoder(matrix, priors, max_iterations=15,
+                               osd_order=0, backend="packed")
+        decoder.decode_batch(syndromes)
+        assert decoder._packed.factor_cache_hits > 0
+
+
 class TestBeliefPropagation:
     def test_zero_syndrome_decodes_to_no_error(self):
         decoder = BeliefPropagationDecoder(REPETITION_H, np.full(5, 0.05))

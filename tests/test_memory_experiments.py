@@ -215,7 +215,10 @@ class TestCircuitSweepCache:
         experiment = MemoryExperiment(code=surface_code_d3, rounds=2,
                                       method="circuit", seed=3)
         experiment.run(1e-3, 0.0, shots=40)
-        decoder = experiment._decoder
+        pipeline = experiment._pipeline
+        decoder = pipeline.local_state.decoder
         experiment.run(2e-3, 0.0, shots=40)
         assert experiment._dem_cache.builds == 1
-        assert experiment._decoder is decoder  # re-priored, not rebuilt
+        assert experiment._pipeline is pipeline
+        # Re-priored, not rebuilt.
+        assert experiment._pipeline.local_state.decoder is decoder

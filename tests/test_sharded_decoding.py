@@ -167,10 +167,11 @@ class TestMemoryExperimentWorkers:
         with MemoryExperiment(code=bb72, rounds=2, seed=5, workers=2,
                               shard_shots=64) as experiment:
             first = experiment.run(self.P, self.LATENCY, shots=self.SHOTS)
-            pool = experiment._sharded
-            assert pool is not None
+            pipeline = experiment._pipeline
+            assert pipeline is not None
             second = experiment.run(1e-3, 50_000.0, shots=self.SHOTS)
-            assert experiment._sharded is pool  # same pool, re-priored
+            # Same pipeline (and worker pool), re-priored per point.
+            assert experiment._pipeline is pipeline
         assert first.failures >= second.failures
 
     def test_circuit_method_workers_match_in_process(self):
