@@ -2,8 +2,8 @@
 """Performance regression gate against the committed ``BENCH_sim.json``.
 
 Re-measures the hot path against the committed baseline and fails —
-exit code 1 — on a throughput regression past the tolerance.  Two gates
-run (same operating point as ``perf_smoke.py``, packed backend):
+exit code 1 — on a throughput regression past the tolerance.  Three
+gates run (same operating point as ``perf_smoke.py``, packed backend):
 
 1. **End-to-end**: the headline memory experiment's shots/second vs the
    baseline's ``memory_experiment`` section.
@@ -31,6 +31,18 @@ Knobs (environment variables):
 * ``REPRO_CHECK_TOLERANCE`` — allowed fractional drop (default 0.30)
 * ``REPRO_CHECK_WORKERS``   — workers for the end-to-end run (default
   1, matching how the baseline's packed number is measured)
+* ``REPRO_CHECK_ADAPTIVE_MIN`` — minimum adaptive-sweep speedup
+  (default 3.0; see below)
+
+A third gate covers the **adaptive sweep**: the fixed-budget vs
+pilot/allocate/refine comparison (``run_adaptive_sweep_comparison``)
+must deliver at least ``REPRO_CHECK_ADAPTIVE_MIN``x the fixed sweep's
+wall-clock at equal worst-case relative Wilson half-width, and every
+adaptive point must actually reach that width (``width_ok``).  The
+sweep budget uses ``REPRO_CHECK_SHOTS`` but is floored at 1500
+shots/point — below that the lowest-LER point sees too few failures
+for a stable relative-width target.  Skipped with a note when the
+committed baseline predates the ``adaptive_sweep`` section.
 
 Exit codes: 0 pass, 1 throughput regression, 2 missing/invalid baseline.
 """
@@ -43,6 +55,7 @@ import sys
 
 from perf_smoke import (
     OUTPUT_PATH,
+    run_adaptive_sweep_comparison,
     time_memory_experiment,
     time_sharded_pipeline,
 )
@@ -148,6 +161,31 @@ def main() -> int:
         if two_worker < 0.5 * pipeline_throughput:
             print("FAIL: 2-worker pipeline lost more than half the "
                   "single-worker throughput", file=sys.stderr)
+            ok = False
+        else:
+            print("  OK")
+
+    if baseline["sections"].get("adaptive_sweep") is None:
+        print("note: baseline has no adaptive_sweep section; skipping the "
+              "adaptive-sweep gate (re-run perf_smoke to record one)")
+    else:
+        adaptive_min = _float_env("REPRO_CHECK_ADAPTIVE_MIN", 3.0)
+        sweep_shots = max(shots, 1500)
+        print(f"measuring adaptive sweep speedup ({sweep_shots} shots/point, "
+              "fixed vs adaptive at equal width)...", flush=True)
+        comparison = run_adaptive_sweep_comparison(sweep_shots)
+        print(f"[adaptive sweep] fixed {comparison['fixed_seconds']:.2f}s, "
+              f"adaptive {comparison['adaptive_seconds']:.2f}s "
+              f"(x{comparison['speedup']:.2f}, width_ok="
+              f"{comparison['width_ok']})")
+        if not comparison["width_ok"]:
+            print("FAIL: adaptive sweep missed the fixed sweep's confidence "
+                  "width", file=sys.stderr)
+            ok = False
+        elif comparison["speedup"] < adaptive_min:
+            print(f"FAIL: adaptive sweep speedup "
+                  f"{comparison['speedup']:.2f}x below the "
+                  f"{adaptive_min:.1f}x gate", file=sys.stderr)
             ok = False
         else:
             print("  OK")

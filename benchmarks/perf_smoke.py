@@ -19,6 +19,7 @@ with the environment variables below (e.g. for a quick CI sanity check):
 * ``REPRO_PERF_DECODE_SHOTS`` — batched-decode shots            (2000)
 * ``REPRO_PERF_FRAME_SHOTS``  — frame-sampling shots            (20000)
 * ``REPRO_PERF_SHARD_SHOTS``  — sharded-section shots           (100000)
+* ``REPRO_PERF_SWEEP_SHOTS``  — adaptive-sweep shots per point  (4000)
 
 Two sharded sections run the headline workload single- and multi-core
 (``workers`` 1/2/4, packed backend only): ``sharded_memory_experiment``
@@ -29,6 +30,13 @@ isolation.  On a single-core host the multi-worker rows are **skipped**
 would share one core, so the committed scaling curve would be flat by
 construction and meaningless; re-run on a multi-core host to record
 real scaling.  The report carries ``cpu_count`` either way.
+
+The ``adaptive_sweep`` section times the same multi-point LER sweep
+twice — fixed per-point budget vs the adaptive pilot/allocate/refine
+scheduler with streaming early stopping — at equal worst-case relative
+Wilson half-width, and records the wall-clock reduction (target: >= 3x;
+``check_bench.py`` gates it).  It runs single-worker, so it is *not*
+skipped on 1-core hosts.
 
 This is a plain script (not a pytest benchmark) because the boolean
 reference path is deliberately slow — minutes at the default budget —
@@ -49,6 +57,8 @@ from repro.circuits import memory_experiment_circuit
 from repro.codes import code_by_name, surface_code
 from repro.core.memory import MemoryExperiment
 from repro.core.phenomenological import build_phenomenological_model
+from repro.core.stats import PrecisionTarget
+from repro.core.sweep import sweep_physical_error
 from repro.decoders.bposd import BPOSDDecoder
 from repro.noise import HardwareNoiseModel
 from repro.parallel import DecoderHandle, ExperimentHandle, ShardedExperiment
@@ -333,11 +343,101 @@ def bench_sharded_pipeline(shots: int,
     )
 
 
+#: Operating points of the adaptive-sweep benchmark: same BB code and
+#: 50 ms latency as the headline, physical error rates whose LERs span
+#: ~0.002 to ~0.12 — so, at equal *relative* confidence width, the
+#: shots each point needs vary by ~70x while a fixed budget spends the
+#: same everywhere.
+ADAPTIVE_SWEEP_RATES = (1e-3, 1.5e-3, 2e-3, 3e-3, 4e-3)
+
+#: Shard size for both sweeps of the comparison: small enough that the
+#: streaming engine can stop a point mid-run at useful granularity.
+ADAPTIVE_SWEEP_SHARD_SHOTS = 256
+
+
+def run_adaptive_sweep_comparison(shots: int) -> dict:
+    """Fixed-budget vs adaptive sweep at equal worst-case Wilson width.
+
+    Runs the LER sweep twice over :data:`ADAPTIVE_SWEEP_RATES`: once
+    with a fixed ``shots`` budget per point, then adaptively
+    (pilot/allocate/refine + streaming early stop) with the *relative*
+    half-width target set to the widest relative interval the fixed
+    sweep achieved — i.e. the adaptive sweep must deliver at least the
+    fixed sweep's worst confidence quality, from the same average
+    per-point budget, and is timed on how much faster it gets there.
+    Shared by ``perf_smoke.py`` (committed section) and
+    ``check_bench.py`` (regression gate) so both measure the identical
+    workload.
+    """
+    code = code_by_name(BB_CODE)
+
+    def run_sweep(target):
+        return sweep_physical_error(
+            code, ROUND_LATENCY_US, ADAPTIVE_SWEEP_RATES, shots=shots,
+            seed=0, shard_shots=ADAPTIVE_SWEEP_SHARD_SHOTS,
+            target_precision=target,
+            pilot_shots=None if target is None else max(64, shots // 16),
+        )
+
+    fixed_seconds, fixed_table = _timed(lambda: run_sweep(None))
+    # A zero-failure fixed row has no defined relative width: the fixed
+    # sweep itself failed to measure that point, so it is excluded from
+    # the target *and*, symmetrically, from the adaptive width check —
+    # the comparison only holds the adaptive sweep to widths the fixed
+    # sweep actually achieved.
+    measurable = [
+        index for index, row in enumerate(fixed_table.rows)
+        if row["logical_error_rate"] > 0
+    ]
+    if not measurable:
+        raise RuntimeError(
+            "fixed sweep observed no failures at any point; increase the "
+            "adaptive-sweep budget (REPRO_PERF_SWEEP_SHOTS / "
+            "REPRO_CHECK_SHOTS)"
+        )
+    target_relative = max(
+        ((fixed_table.rows[i]["ci_high"] - fixed_table.rows[i]["ci_low"])
+         / 2.0) / fixed_table.rows[i]["logical_error_rate"]
+        for i in measurable
+    )
+    target = PrecisionTarget(half_width=target_relative, relative=True)
+    adaptive_seconds, adaptive_table = _timed(lambda: run_sweep(target))
+
+    def row_width_ok(row):
+        ler = row["logical_error_rate"]
+        if ler <= 0:
+            return False
+        half = (row["ci_high"] - row["ci_low"]) / 2.0
+        return half <= target_relative * ler * (1.0 + 1e-9)
+
+    return {
+        "description": f"{BB_CODE} LER sweep over p={ADAPTIVE_SWEEP_RATES}, "
+                       f"fixed {shots} shots/point vs adaptive "
+                       f"(pilot/allocate/refine + streaming early stop) at "
+                       f"equal worst-case relative Wilson half-width",
+        "fixed_seconds": fixed_seconds,
+        "adaptive_seconds": adaptive_seconds,
+        "speedup": fixed_seconds / adaptive_seconds,
+        "target_relative_half_width": target_relative,
+        "fixed_shots_total": shots * len(ADAPTIVE_SWEEP_RATES),
+        "adaptive_shots_total": sum(
+            row["shots_used"] for row in adaptive_table.rows),
+        "adaptive_shots_per_point": [
+            row["shots_used"] for row in adaptive_table.rows],
+        "adaptive_stopped_early": [
+            bool(row["stopped_early"]) for row in adaptive_table.rows],
+        "measured_points": len(measurable),
+        "width_ok": all(row_width_ok(adaptive_table.rows[i])
+                        for i in measurable),
+    }
+
+
 def main() -> None:
     shots = _int_env("REPRO_PERF_SHOTS", 10_000)
     decode_shots = _int_env("REPRO_PERF_DECODE_SHOTS", 2_000)
     frame_shots = _int_env("REPRO_PERF_FRAME_SHOTS", 20_000)
     shard_shots = _int_env("REPRO_PERF_SHARD_SHOTS", 100_000)
+    sweep_shots = _int_env("REPRO_PERF_SWEEP_SHOTS", 4_000)
 
     sections = {}
     print(f"frame sampling ({frame_shots} shots)...", flush=True)
@@ -355,6 +455,9 @@ def main() -> None:
     print(f"sharded pipeline ({shard_shots} shots, workers 1/2/4)...",
           flush=True)
     sections["sharded_pipeline"] = bench_sharded_pipeline(shard_shots)
+    print(f"adaptive sweep ({sweep_shots} shots/point fixed vs adaptive)...",
+          flush=True)
+    sections["adaptive_sweep"] = run_adaptive_sweep_comparison(sweep_shots)
 
     report = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -366,6 +469,7 @@ def main() -> None:
             "batched_decode_shots": decode_shots,
             "frame_sampling_shots": frame_shots,
             "sharded_memory_experiment_shots": shard_shots,
+            "adaptive_sweep_shots": sweep_shots,
         },
         "sections": sections,
         "headline_speedup": sections["memory_experiment"]["speedup"],
@@ -389,6 +493,14 @@ def main() -> None:
         if sharded.get("skipped_workers"):
             print(f"  (skipped workers {sharded['skipped_workers']}: "
                   "single-core host)")
+    adaptive = sections["adaptive_sweep"]
+    print("adaptive_sweep:")
+    print(f"  fixed    {adaptive['fixed_seconds']:8.2f}s  "
+          f"({adaptive['fixed_shots_total']} shots)")
+    print(f"  adaptive {adaptive['adaptive_seconds']:8.2f}s  "
+          f"({adaptive['adaptive_shots_total']} shots)  "
+          f"x{adaptive['speedup']:.2f} at equal width "
+          f"(width_ok={adaptive['width_ok']}, target >= 3x)")
     print(f"\nheadline speedup: {report['headline_speedup']:.1f}x "
           f"(target >= 5x) on {report['cpu_count']} cores; "
           f"wrote {OUTPUT_PATH}")

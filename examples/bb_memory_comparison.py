@@ -13,6 +13,13 @@ per core) runs each sweep's fused sample+decode pipeline across worker
 processes — at the 100k+ shot budgets where the LER floor gets
 interesting, that is the difference between minutes and one coffee.
 The numbers are bit-identical for any worker count.
+
+Set ``REPRO_TARGET_PRECISION`` (an absolute Wilson half-width, e.g.
+``2e-3``) to switch each sweep onto the adaptive pilot/allocate/refine
+scheduler: ``shots`` becomes the *average* per-point budget of a global
+pool, points stream until their confidence interval is tight enough and
+stop early, and the saved shots concentrate on the points that need
+them.  Rows then report ``shots_used`` and the Wilson bounds.
 """
 
 from __future__ import annotations
@@ -35,6 +42,10 @@ def main() -> None:
             workers = int(os.environ.get("REPRO_WORKERS", "1"))
         except ValueError:
             workers = 1
+    try:
+        target_precision = float(os.environ["REPRO_TARGET_PRECISION"])
+    except (KeyError, ValueError):
+        target_precision = None
 
     for code_name in CODES:
         code = code_by_name(code_name)
@@ -51,6 +62,7 @@ def main() -> None:
                 label=f"{design}, {latency / 1000:.1f} ms/round",
                 seed=5,
                 workers=workers,
+                target_precision=target_precision,
             )
             print()
             print(table.to_text())

@@ -15,7 +15,10 @@ Run with:  python examples/quickstart.py
 
 Set ``REPRO_WORKERS=N`` (``0`` = one per core) to run the memory
 experiments on the fused sample+decode pipeline across N worker
-processes; the numbers are bit-identical for any value.
+processes; the numbers are bit-identical for any value.  Set
+``REPRO_TARGET_PRECISION`` (an absolute Wilson half-width) to stream
+each experiment and stop early once its confidence interval is tight
+enough — ``shots`` then acts as the budget cap.
 """
 
 from __future__ import annotations
@@ -36,6 +39,14 @@ def _workers_from_env() -> int:
         return int(os.environ.get("REPRO_WORKERS", "1"))
     except ValueError:
         return 1
+
+
+def _target_precision_from_env() -> float | None:
+    """REPRO_TARGET_PRECISION: Wilson half-width for early stopping."""
+    try:
+        return float(os.environ["REPRO_TARGET_PRECISION"])
+    except (KeyError, ValueError):
+        return None
 
 
 def main() -> None:
@@ -76,10 +87,13 @@ def main() -> None:
             rounds=min(code.distance or 3, 4),
             seed=1,
             workers=workers,
+            target_precision=_target_precision_from_env(),
         )
+        early = " (stopped early)" if result.stopped_early else ""
         print(f"  {label:10s} logical error rate per shot = "
               f"{result.logical_error_rate:.4f}   per round = "
-              f"{result.logical_error_rate_per_round:.5f}")
+              f"{result.logical_error_rate_per_round:.5f}   "
+              f"[{result.shots_used} shots{early}]")
 
     print("\nDone.  See examples/design_space_exploration.py and "
           "examples/bb_memory_comparison.py for deeper dives.")

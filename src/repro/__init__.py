@@ -59,6 +59,7 @@ from repro.core import (
     available_codesigns,
     MemoryExperiment,
     MemoryResult,
+    PrecisionTarget,
     logical_error_rate,
     spacetime_cost,
     spacetime_comparison,
@@ -92,6 +93,7 @@ __all__ = [
     "available_codesigns",
     "MemoryExperiment",
     "MemoryResult",
+    "PrecisionTarget",
     "logical_error_rate",
     "spacetime_cost",
     "spacetime_comparison",

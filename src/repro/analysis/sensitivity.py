@@ -43,15 +43,22 @@ def _sweep_experiment(code: CSSCode, rounds: int | None, seed: int,
 
 
 def _ler(experiment: MemoryExperiment, physical_error_rate: float,
-         latency_us: float, shots: int) -> float:
-    return experiment.run(physical_error_rate, latency_us,
-                          shots=shots).logical_error_rate
+         latency_us: float, shots: int, target_precision=None,
+         max_shots: int | None = None) -> float:
+    """One streamed LER estimate; ``target_precision`` stops the point
+    early once its Wilson half-width is tight enough (deterministic —
+    see :mod:`repro.parallel.pipeline`), ``max_shots`` caps the budget."""
+    return experiment.run(physical_error_rate, latency_us, shots=shots,
+                          target_precision=target_precision,
+                          max_shots=max_shots).logical_error_rate
 
 
 def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
                       speedups: Iterable[float] = (1.0, 2.0, 4.0),
                       shots: int = 200, rounds: int | None = None,
-                      seed: int = 0, workers: int = 1) -> ResultTable:
+                      seed: int = 0, workers: int = 1,
+                      target_precision=None,
+                      max_shots: int | None = None) -> ResultTable:
     """Figure 5: LER improvement when the baseline latency is divided by k.
 
     The baseline grid schedule is compiled once; its latency is then
@@ -71,7 +78,8 @@ def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
                 speedup=speedup,
                 round_latency_us=scaled,
                 logical_error_rate=_ler(experiment, physical_error_rate,
-                                        scaled, shots),
+                                        scaled, shots,
+                                        target_precision, max_shots),
             )
     return table
 
@@ -81,8 +89,10 @@ def junction_crossing_sensitivity(code: CSSCode,
                                   reductions: Iterable[float] = (
                                       0.0, 0.3, 0.5, 0.7, 0.9),
                                   shots: int = 200, rounds: int | None = None,
-                                  seed: int = 0,
-                                  workers: int = 1) -> ResultTable:
+                                  seed: int = 0, workers: int = 1,
+                                  target_precision=None,
+                                  max_shots: int | None = None
+                                  ) -> ResultTable:
     """Figure 9: mesh junction network LER vs junction-crossing reduction.
 
     The baseline grid row is included as the reference the mesh must
@@ -100,7 +110,8 @@ def junction_crossing_sensitivity(code: CSSCode,
             design="baseline_grid", junction_reduction=0.0,
             execution_time_us=baseline.execution_time_us,
             logical_error_rate=_ler(experiment, physical_error_rate,
-                                    baseline.execution_time_us, shots),
+                                    baseline.execution_time_us, shots,
+                                    target_precision, max_shots),
         )
         for reduction in reductions:
             times = OperationTimes(junction_improvement_factor=reduction)
@@ -110,7 +121,8 @@ def junction_crossing_sensitivity(code: CSSCode,
                 design="mesh_junction", junction_reduction=reduction,
                 execution_time_us=mesh.execution_time_us,
                 logical_error_rate=_ler(experiment, physical_error_rate,
-                                        mesh.execution_time_us, shots),
+                                        mesh.execution_time_us, shots,
+                                        target_precision, max_shots),
             )
     return table
 
@@ -120,8 +132,10 @@ def trap_arrangement_sensitivity(code: CSSCode,
                                  physical_error_rate: float = 1e-4,
                                  shots: int = 200, rounds: int | None = None,
                                  include_ler: bool = True,
-                                 seed: int = 0,
-                                 workers: int = 1) -> ResultTable:
+                                 seed: int = 0, workers: int = 1,
+                                 target_precision=None,
+                                 max_shots: int | None = None
+                                 ) -> ResultTable:
     """Figure 13: Cyclone performance across "tight" trap/capacity points.
 
     Each point is a Cyclone ring with ``x`` traps and just enough
@@ -154,6 +168,7 @@ def trap_arrangement_sensitivity(code: CSSCode,
                 row["logical_error_rate"] = _ler(
                     experiment, physical_error_rate,
                     compiled.execution_time_us, shots,
+                    target_precision, max_shots,
                 )
             table.add_row(**row)
     return table
@@ -163,7 +178,9 @@ def loose_capacity_sensitivity(code: CSSCode,
                                capacities: Iterable[int] = (5, 8, 12, 20),
                                physical_error_rate: float = 1e-4,
                                shots: int = 200, rounds: int | None = None,
-                               seed: int = 0, workers: int = 1) -> ResultTable:
+                               seed: int = 0, workers: int = 1,
+                               target_precision=None,
+                               max_shots: int | None = None) -> ResultTable:
     """Figure 17: baseline LER when given extra ("loose") trap capacity.
 
     The paper finds negligible improvement, confirming the baseline is
@@ -181,7 +198,8 @@ def loose_capacity_sensitivity(code: CSSCode,
                 trap_capacity=capacity,
                 execution_time_us=compiled.execution_time_us,
                 logical_error_rate=_ler(experiment, physical_error_rate,
-                                        compiled.execution_time_us, shots),
+                                        compiled.execution_time_us, shots,
+                                        target_precision, max_shots),
             )
     return table
 
@@ -191,7 +209,9 @@ def operation_time_sensitivity(code: CSSCode,
                                    0.0, 0.25, 0.5, 0.75),
                                physical_error_rate: float = 1e-4,
                                shots: int = 200, rounds: int | None = None,
-                               seed: int = 0, workers: int = 1) -> ResultTable:
+                               seed: int = 0, workers: int = 1,
+                               target_precision=None,
+                               max_shots: int | None = None) -> ResultTable:
     """Figure 18: LER as gate and shuttling times are reduced by r.
 
     Both the baseline and Cyclone are recompiled with the improved
@@ -215,7 +235,8 @@ def operation_time_sensitivity(code: CSSCode,
                     execution_time_us=compiled.execution_time_us,
                     logical_error_rate=_ler(experiment, physical_error_rate,
                                             compiled.execution_time_us,
-                                            shots),
+                                            shots, target_precision,
+                                            max_shots),
                 )
     return table
 

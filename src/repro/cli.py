@@ -22,6 +22,9 @@ Examples
     python -m repro memory "HGP [[225,9,6]]" --codesign cyclone \
         --physical-error-rates 1e-4 3e-4 1e-3 --shots 200 --output ler.csv
     python -m repro memory "BB [[72,12,6]]" --shots 200000 --workers 4
+    python -m repro memory "BB [[72,12,6]]" --shots 20000 \
+        --physical-error-rates 1e-4 3e-4 1e-3 3e-3 \
+        --target-precision 0.002      # adaptive: stop each point early
     python -m repro speedup
 """
 
@@ -34,6 +37,7 @@ from collections.abc import Sequence
 from repro.analysis import speedup_table
 from repro.codes import available_codes, code_by_name
 from repro.core import (
+    PrecisionTarget,
     available_codesigns,
     codesign_by_name,
     sweep_architectures,
@@ -92,7 +96,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-shots", type=int, default=None,
         help="shots per pipeline shard (default: the decoder's "
              "2048-shot block size); each shard samples from its own "
-             "seed-tree child, so compare runs at a fixed value",
+             "seed-tree child, so compare runs at a fixed value — it is "
+             "also the early-stop granularity",
+    )
+    memory_parser.add_argument(
+        "--target-precision", type=float, default=None,
+        help="stream each sweep point and stop once the Wilson-interval "
+             "half-width of its logical error rate reaches this value "
+             "(default: fixed --shots budget per point); enables the "
+             "adaptive pilot/allocate/refine scheduler, which splits the "
+             "global budget (--shots x points) across points by "
+             "estimated variance.  Deterministic: the stop decision is "
+             "evaluated on the shard-index prefix, so results are "
+             "bit-identical for any --workers",
+    )
+    memory_parser.add_argument(
+        "--relative-precision", action="store_true",
+        help="interpret --target-precision as a fraction of the "
+             "estimated LER instead of an absolute half-width (never "
+             "stops on zero observed failures; pair with --max-shots)",
+    )
+    memory_parser.add_argument(
+        "--max-shots", type=int, default=None,
+        help="per-point shot cap for the adaptive scheduler (default: "
+             "the whole global budget may concentrate on one point)",
+    )
+    memory_parser.add_argument(
+        "--pilot-shots", type=int, default=None,
+        help="pilot budget per point for the adaptive scheduler "
+             "(default: --shots/4, clamped to [32, 512])",
     )
     memory_parser.add_argument("--output", default=None)
 
@@ -144,6 +176,14 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_memory(args: argparse.Namespace) -> int:
     code = code_by_name(args.code)
     compiled = codesign_by_name(args.codesign).compile(code)
+    target = None
+    if args.target_precision is not None:
+        target = PrecisionTarget(half_width=args.target_precision,
+                                 relative=args.relative_precision)
+    elif args.relative_precision:
+        print("--relative-precision requires --target-precision",
+              file=sys.stderr)
+        return 2
     table = sweep_physical_error(
         code,
         round_latency_us=compiled.execution_time_us,
@@ -155,6 +195,9 @@ def _cmd_memory(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         shard_shots=args.shard_shots,
+        target_precision=target,
+        max_shots=args.max_shots,
+        pilot_shots=args.pilot_shots,
     )
     _emit(table, args.output)
     return 0

@@ -21,10 +21,25 @@ from repro.core.memory import (
     logical_error_rate,
 )
 from repro.core.spacetime import spacetime_cost, spacetime_comparison
-from repro.core.sweep import sweep_physical_error, sweep_architectures
+from repro.core.stats import (
+    PrecisionTarget,
+    as_precision_target,
+    binomial_interval,
+    wilson_interval,
+)
+from repro.core.sweep import (
+    allocate_shots,
+    sweep_architectures,
+    sweep_physical_error,
+)
 from repro.core.results import ResultTable
 
 __all__ = [
+    "PrecisionTarget",
+    "allocate_shots",
+    "as_precision_target",
+    "binomial_interval",
+    "wilson_interval",
     "Codesign",
     "codesign_by_name",
     "available_codesigns",

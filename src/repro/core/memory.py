@@ -41,6 +41,7 @@ from repro.core.phenomenological import (
     build_phenomenological_model,
     build_spacetime_structure,
 )
+from repro.core.stats import PrecisionTarget, as_precision_target
 from repro.noise.hardware import HardwareNoiseModel
 from repro.parallel.pipeline import ExperimentHandle, ShardedExperiment
 from repro.parallel.sharded import DecoderHandle, resolve_workers
@@ -51,7 +52,17 @@ __all__ = ["MemoryExperiment", "MemoryResult", "logical_error_rate"]
 
 @dataclass
 class MemoryResult:
-    """Outcome of a memory experiment."""
+    """Outcome of a (possibly early-stopped) memory experiment.
+
+    ``shots`` counts the shots this run contributed to the estimate;
+    with a ``target_precision`` the run may stop before the
+    ``max_shots`` budget (``stopped_early``).  ``ci_low``/``ci_high``
+    bound the per-shot failure probability at ``confidence``, evaluated
+    on the same tally the stop rule saw — when a ``prior_tally``
+    (echoed back as ``prior_failures``/``prior_shots``) was carried in,
+    that is the *combined* prior+run tally, not this run's
+    ``logical_error_rate`` alone.
+    """
 
     code_name: str
     physical_error_rate: float
@@ -62,6 +73,26 @@ class MemoryResult:
     method: str
     basis: str
     metadata: dict = field(default_factory=dict)
+    max_shots: int | None = None
+    ci_low: float = 0.0
+    ci_high: float = 1.0
+    stopped_early: bool = False
+    confidence: float = 0.95
+    prior_failures: int = 0
+    prior_shots: int = 0
+
+    @property
+    def shots_used(self) -> int:
+        """Alias for ``shots``: the shots that actually contribute."""
+        return self.shots
+
+    @property
+    def tally_error_rate(self) -> float:
+        """The combined prior+run estimate ``ci_low``/``ci_high`` bound."""
+        total = self.prior_shots + self.shots
+        if total == 0:
+            return 0.0
+        return (self.prior_failures + self.failures) / total
 
     @property
     def logical_error_rate(self) -> float:
@@ -185,7 +216,10 @@ class MemoryExperiment:
 
     # ------------------------------------------------------------------
     def run(self, physical_error_rate: float, round_latency_us: float,
-            shots: int = 200, workers: int | None = None) -> MemoryResult:
+            shots: int = 200, workers: int | None = None,
+            target_precision: "float | PrecisionTarget | None" = None,
+            max_shots: int | None = None,
+            prior_tally: tuple[int, int] = (0, 0)) -> MemoryResult:
         """Estimate the logical error rate at one operating point.
 
         ``workers`` overrides the experiment-level default for this call
@@ -193,25 +227,47 @@ class MemoryExperiment:
         across ``N`` worker processes; ``0``: one per core).  The result
         is bit-identical for every value at a fixed ``shard_shots`` —
         only the wall-clock changes.
+
+        ``target_precision`` streams the run through a Wilson interval
+        and stops — deterministically, on the shard-prefix tally — once
+        the half-width (absolute float, or a
+        :class:`~repro.core.stats.PrecisionTarget` for relative
+        targets) is reached; ``max_shots`` overrides ``shots`` as the
+        budget cap.  ``prior_tally`` carries ``(failures, shots)`` from
+        earlier runs of this operating point into the stop rule (the
+        adaptive sweep's pilot pass).
         """
         workers = self.workers if workers is None else resolve_workers(workers)
+        budget = int(max_shots) if max_shots is not None else int(shots)
+        target = as_precision_target(target_precision)
         noise = HardwareNoiseModel.from_physical_error_rate(
             physical_error_rate, round_latency_us=round_latency_us
         )
         if self.method == "phenomenological":
-            failures, extra = self._run_phenomenological(noise, shots, workers)
+            outcome, extra = self._run_phenomenological(
+                noise, budget, workers, target, prior_tally)
         else:
-            failures, extra = self._run_circuit(noise, shots, workers)
+            outcome, extra = self._run_circuit(
+                noise, budget, workers, target, prior_tally)
+        if target is not None:
+            extra["target_met"] = outcome.target_met
         return MemoryResult(
             code_name=self.code.name,
             physical_error_rate=physical_error_rate,
             round_latency_us=round_latency_us,
             rounds=self.rounds,
-            shots=shots,
-            failures=failures,
+            shots=outcome.shots,
+            failures=outcome.failures,
             method=self.method,
             basis=self.basis,
             metadata=extra,
+            max_shots=budget,
+            ci_low=outcome.ci_low,
+            ci_high=outcome.ci_high,
+            stopped_early=outcome.stopped_early,
+            confidence=outcome.confidence,
+            prior_failures=outcome.prior_failures,
+            prior_shots=outcome.prior_shots,
         )
 
     # ------------------------------------------------------------------
@@ -246,7 +302,9 @@ class MemoryExperiment:
         return self._pipeline
 
     def _run_phenomenological(self, noise: HardwareNoiseModel, shots: int,
-                              workers: int) -> tuple[int, dict]:
+                              workers: int,
+                              target: PrecisionTarget | None,
+                              prior_tally: tuple[int, int]) -> tuple:
         if self._structure is None:
             self._structure = build_spacetime_structure(
                 self.code, rounds=self.rounds, basis=self.basis
@@ -260,8 +318,10 @@ class MemoryExperiment:
             workers,
         )
         outcome = pipeline.run(shots, self._spawn_seed(),
-                               priors=model.priors)
-        return outcome.failures, {
+                               priors=model.priors,
+                               target_precision=target,
+                               prior_tally=prior_tally)
+        return outcome, {
             "data_error_rate": model.data_error_rate,
             "measurement_error_rate": model.measurement_error_rate,
             "idle_error": noise.total_idle_error,
@@ -270,7 +330,8 @@ class MemoryExperiment:
         }
 
     def _run_circuit(self, noise: HardwareNoiseModel, shots: int,
-                     workers: int) -> tuple[int, dict]:
+                     workers: int, target: PrecisionTarget | None,
+                     prior_tally: tuple[int, int]) -> tuple:
         circuit = memory_experiment_circuit(
             self.code, noise, schedule=self.schedule, rounds=self.rounds,
             basis=self.basis,
@@ -287,8 +348,9 @@ class MemoryExperiment:
             dem.check_matrix, dem.observable_matrix, dem.priors, workers
         )
         outcome = pipeline.run(shots, self._spawn_seed(), priors=dem.priors,
-                               circuit=circuit)
-        return outcome.failures, {
+                               circuit=circuit, target_precision=target,
+                               prior_tally=prior_tally)
+        return outcome, {
             "num_detectors": dem.num_detectors,
             "num_mechanisms": dem.num_mechanisms,
             "idle_error": noise.total_idle_error,
@@ -303,11 +365,21 @@ def logical_error_rate(code: CSSCode, physical_error_rate: float,
                        method: str = "phenomenological",
                        seed: int = 0, backend: str = "packed",
                        workers: int = 1,
-                       shard_shots: int | None = None) -> MemoryResult:
-    """One-call convenience wrapper around :class:`MemoryExperiment`."""
+                       shard_shots: int | None = None,
+                       target_precision: "float | PrecisionTarget | None"
+                       = None,
+                       max_shots: int | None = None) -> MemoryResult:
+    """One-call convenience wrapper around :class:`MemoryExperiment`.
+
+    ``target_precision`` streams the run to a Wilson-interval half-width
+    and stops early (deterministically — see
+    :mod:`repro.parallel.pipeline`); ``max_shots`` caps the budget when
+    it should differ from ``shots``.
+    """
     with MemoryExperiment(
         code=code, rounds=rounds, basis=basis, method=method, seed=seed,
         backend=backend, workers=workers, shard_shots=shard_shots,
     ) as experiment:
         return experiment.run(physical_error_rate, round_latency_us,
-                              shots=shots)
+                              shots=shots, target_precision=target_precision,
+                              max_shots=max_shots)

@@ -1,0 +1,190 @@
+"""Binomial confidence intervals and precision targets for early stopping.
+
+Every logical-error-rate estimate in the reproduction is a binomial
+proportion: ``failures`` successes out of ``shots`` independent trials.
+The streaming pipeline (:mod:`repro.parallel.pipeline`) and the adaptive
+sweep scheduler (:mod:`repro.core.sweep`) stop spending shots once the
+estimate's confidence interval is tight enough, so the interval math
+lives here, in one dependency-free module (the normal quantile comes
+from the standard library's :class:`statistics.NormalDist`).
+
+Two intervals are provided:
+
+* **Wilson** (:func:`wilson_interval`) — the default, and what every
+  stop decision actually evaluates.  Well behaved at the extreme
+  proportions this code base lives at (logical error rates of 1e-2
+  down to 1e-6, including zero observed failures), where the naive
+  Wald interval collapses to zero width.
+* **Agresti–Coull** (:func:`agresti_coull_interval`) — the "add
+  ``z**2`` pseudo trials" approximation of Wilson, exposed as an
+  independent cross-check and kept as a purely *defensive* fallback in
+  :func:`binomial_interval`: for validated inputs the Wilson
+  arithmetic cannot produce a non-finite bound, so the fallback is not
+  expected to ever trigger.
+
+A :class:`PrecisionTarget` packages the stopping rule: the interval's
+half-width (absolute, or relative to the point estimate) at a given
+confidence, plus an optional shot floor.  Its :meth:`~PrecisionTarget.met`
+decision is a pure function of ``(failures, shots)`` — the streaming
+engine's determinism contract depends on exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from statistics import NormalDist
+
+__all__ = [
+    "PrecisionTarget",
+    "agresti_coull_interval",
+    "as_precision_target",
+    "binomial_interval",
+    "wilson_interval",
+    "z_score",
+]
+
+
+@lru_cache(maxsize=16)
+def z_score(confidence: float = 0.95) -> float:
+    """Two-sided normal quantile for a confidence level (0.95 -> 1.96)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
+
+
+def _validate_tally(failures: int, shots: int) -> None:
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    if not 0 <= failures <= max(shots, 0):
+        raise ValueError("failures must lie in [0, shots]")
+
+
+def wilson_interval(failures: int, shots: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` clipped to ``[0, 1]``; ``shots == 0`` yields
+    the vacuous ``(0, 1)``.
+    """
+    _validate_tally(failures, shots)
+    if shots == 0:
+        return 0.0, 1.0
+    z = z_score(confidence)
+    z2 = z * z
+    p_hat = failures / shots
+    denominator = 1.0 + z2 / shots
+    center = (p_hat + z2 / (2.0 * shots)) / denominator
+    half_width = (
+        z * math.sqrt(p_hat * (1.0 - p_hat) / shots
+                      + z2 / (4.0 * shots * shots))
+        / denominator
+    )
+    return max(0.0, center - half_width), min(1.0, center + half_width)
+
+
+def agresti_coull_interval(failures: int, shots: int,
+                           confidence: float = 0.95) -> tuple[float, float]:
+    """Agresti–Coull interval: Wilson's center with a Wald-style width.
+
+    Adds ``z**2`` pseudo-trials (half failures, half successes) and
+    applies the normal approximation to the shrunk estimate.  Used as
+    the fallback when a Wilson evaluation degenerates.
+    """
+    _validate_tally(failures, shots)
+    if shots == 0:
+        return 0.0, 1.0
+    z = z_score(confidence)
+    z2 = z * z
+    n_tilde = shots + z2
+    p_tilde = (failures + z2 / 2.0) / n_tilde
+    half_width = z * math.sqrt(p_tilde * (1.0 - p_tilde) / n_tilde)
+    return max(0.0, p_tilde - half_width), min(1.0, p_tilde + half_width)
+
+
+def binomial_interval(failures: int, shots: int,
+                      confidence: float = 0.95) -> tuple[float, float]:
+    """Confidence interval for ``failures / shots``: Wilson.
+
+    The Agresti–Coull branch is a defensive fallback only — Wilson's
+    arithmetic is finite for every validated input, so in practice
+    this function *is* the Wilson interval."""
+    low, high = wilson_interval(failures, shots, confidence)
+    if math.isfinite(low) and math.isfinite(high):
+        return low, high
+    return agresti_coull_interval(failures, shots, confidence)
+
+
+@dataclass(frozen=True)
+class PrecisionTarget:
+    """A stopping rule on the width of a binomial confidence interval.
+
+    Parameters
+    ----------
+    half_width:
+        Target half-width of the interval.  Interpreted as an absolute
+        probability by default, or — with ``relative=True`` — as a
+        fraction of the point estimate ``failures / shots``.
+    relative:
+        Relative targets never trigger at zero observed failures (the
+        relative error of an estimated zero is unbounded); pair them
+        with a shot cap.
+    confidence:
+        Confidence level of the interval (default 95%).
+    min_shots:
+        Never stop before this many shots, whatever the interval says.
+
+    :meth:`met` is a pure function of ``(failures, shots)``; the
+    streaming engine evaluates it on shard-prefix tallies only, which
+    is what keeps early stopping bit-identical across worker counts.
+    """
+
+    half_width: float
+    relative: bool = False
+    confidence: float = 0.95
+    min_shots: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.half_width > 0.0:
+            raise ValueError("half_width must be positive")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if self.min_shots < 0:
+            raise ValueError("min_shots must be non-negative")
+
+    # ------------------------------------------------------------------
+    def interval(self, failures: int, shots: int) -> tuple[float, float]:
+        """The confidence interval this target is evaluated on."""
+        return binomial_interval(failures, shots, self.confidence)
+
+    def achieved_half_width(self, failures: int, shots: int) -> float:
+        low, high = self.interval(failures, shots)
+        return (high - low) / 2.0
+
+    def met(self, failures: int, shots: int) -> bool:
+        """Is the interval for this tally already tight enough?"""
+        if shots <= 0 or shots < self.min_shots:
+            return False
+        half_width = self.achieved_half_width(failures, shots)
+        if self.relative:
+            if failures == 0:
+                return False
+            return half_width <= self.half_width * (failures / shots)
+        return half_width <= self.half_width
+
+
+def as_precision_target(spec: "float | PrecisionTarget | None",
+                        confidence: float = 0.95
+                        ) -> PrecisionTarget | None:
+    """Coerce a ``target_precision=`` argument into a target.
+
+    ``None`` passes through (no early stopping); a bare float is an
+    absolute half-width at the given confidence; a
+    :class:`PrecisionTarget` is returned unchanged.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, PrecisionTarget):
+        return spec
+    return PrecisionTarget(half_width=float(spec), confidence=confidence)

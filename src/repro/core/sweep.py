@@ -5,6 +5,32 @@ a fixed codesign (the LER curves of Figures 5, 14, 15, 17, 18) and the
 architecture sweep at a fixed operating point (Figures 6, 13, 16, 19,
 20).  Both return :class:`~repro.core.results.ResultTable` rows so the
 benchmarks can print exactly the series the paper plots.
+
+Adaptive shot allocation
+------------------------
+A fixed per-point shot budget wastes most of its wall-clock: at equal
+confidence widths, the shots a point *needs* vary by orders of
+magnitude across a sweep (binomial variance ``p(1-p)`` for absolute
+widths; ``(1-p)/p`` for relative ones).  With ``target_precision=`` the
+sweeps therefore run a **pilot / allocate / refine loop** instead of a
+fixed budget:
+
+1. **Pilot** — every point gets a small budget (``pilot_shots``),
+   streamed through the early-stopping pipeline (points that already
+   meet the target stop right there).
+2. **Allocate** — the remaining global budget (``shots`` × number of
+   points) is split across the unmet points proportional to their
+   estimated per-shot variance (:func:`allocate_shots`), so shots
+   concentrate where they actually buy confidence width.
+3. **Refine** — each unmet point streams through its allocation with
+   the pilot tally carried into the stop rule (``prior_tally``), and
+   the loop repeats with updated estimates until every point meets the
+   target or the global budget is spent.
+
+Every step is a pure function of shard-prefix tallies, so the whole
+adaptive sweep inherits the pipeline's determinism contract: results
+are bit-identical for any ``workers=`` at fixed ``shard_shots`` /
+``target_precision`` / ``pilot_shots``.
 """
 
 from __future__ import annotations
@@ -14,10 +40,162 @@ from collections.abc import Iterable, Sequence
 from repro.codes.css import CSSCode
 from repro.core.codesign import Codesign
 from repro.core.memory import MemoryExperiment
-from repro.core.results import ResultTable
+from repro.core.results import PRECISION_COLUMNS, ResultTable, precision_fields
 from repro.core.spacetime import spacetime_cost
+from repro.core.stats import PrecisionTarget, as_precision_target, binomial_interval
 
-__all__ = ["sweep_physical_error", "sweep_architectures"]
+__all__ = ["sweep_physical_error", "sweep_architectures", "allocate_shots"]
+
+#: Hard ceiling on refine rounds — each round spends real budget, so
+#: this only guards against a pathological no-progress loop.
+_MAX_REFINE_ROUNDS = 8
+
+#: Smallest refine allocation worth dispatching (one worthwhile shard).
+_MIN_REFINE_SHOTS = 32
+
+
+def _estimated_rate(failures: int, shots: int) -> float:
+    """Laplace-smoothed failure-rate estimate (defined at 0 failures)."""
+    return (failures + 1.0) / (shots + 2.0)
+
+
+def allocate_shots(tallies: Sequence[tuple[int, int]], budget: int,
+                   caps: Sequence[int], relative: bool = False) -> list[int]:
+    """Split ``budget`` shots across points proportional to variance.
+
+    ``tallies`` holds each point's observed ``(failures, shots)``;
+    ``caps`` bounds what each point may still receive.  The weight is
+    the estimated per-shot variance of what the target constrains: the
+    absolute estimate's variance ``p(1-p)`` by default, or the relative
+    estimate's ``(1-p)/p`` for relative targets (low-rate points need
+    the extra shots there).  Rates are Laplace-smoothed so zero-failure
+    pilots still produce usable weights.  Pure integer arithmetic on
+    the inputs — allocation is part of the determinism contract.
+    """
+    if budget <= 0 or not tallies:
+        return [0] * len(tallies)
+    weights = []
+    for failures, shots in tallies:
+        p = _estimated_rate(failures, shots)
+        weights.append((1.0 - p) / p if relative else p * (1.0 - p))
+    total = sum(weights)
+    if total <= 0.0:
+        weights = [1.0] * len(tallies)
+        total = float(len(tallies))
+    allocations = []
+    for weight, cap in zip(weights, caps):
+        share = int(budget * weight / total)
+        allocations.append(max(0, min(cap, share)))
+    return allocations
+
+
+def _fixed_point_fields(result) -> dict:
+    fields = {
+        "failures": result.failures,
+        "logical_error_rate": result.logical_error_rate,
+        "ler_per_round": result.logical_error_rate_per_round,
+    }
+    fields.update(precision_fields(result))
+    return fields
+
+
+def _combined_point_fields(failures: int, shots: int, rounds: int,
+                           target: PrecisionTarget, cap: int) -> dict:
+    """Row fragment for a pilot+refine tally (mirrors ``MemoryResult``)."""
+    ler = failures / shots if shots else 0.0
+    if shots == 0 or ler >= 1.0:
+        per_round = ler
+    else:
+        per_round = 1.0 - (1.0 - ler) ** (1.0 / rounds)
+    low, high = binomial_interval(failures, shots, target.confidence)
+    met = target.met(failures, shots)
+    return {
+        "failures": failures,
+        "logical_error_rate": ler,
+        "ler_per_round": per_round,
+        "shots_used": shots,
+        "ci_low": low,
+        "ci_high": high,
+        "stopped_early": bool(met and shots < cap),
+    }
+
+
+def _run_points(experiment: MemoryExperiment,
+                points: Sequence[tuple[float, float]], shots: int,
+                target_precision, max_shots: int | None,
+                pilot_shots: int | None) -> list[dict]:
+    """Estimate the LER of every ``(p, latency)`` point.
+
+    Fixed budget (``target_precision is None``): one ``shots``-shot run
+    per point.  Otherwise the adaptive pilot/allocate/refine loop
+    described in the module docstring, under a global budget of
+    ``shots`` per point with a per-point cap of ``max_shots`` (default:
+    the whole global budget may concentrate on one point).
+    """
+    target = as_precision_target(target_precision)
+    if target is None:
+        return [
+            _fixed_point_fields(experiment.run(p, latency, shots=shots))
+            for p, latency in points
+        ]
+
+    num_points = len(points)
+    global_budget = int(shots) * num_points
+    cap = int(max_shots) if max_shots is not None else global_budget
+    cap = max(1, min(cap, global_budget))
+    if pilot_shots is None:
+        pilot = max(_MIN_REFINE_SHOTS, min(int(shots) // 4, 512))
+    else:
+        pilot = max(1, int(pilot_shots))
+    pilot = min(pilot, cap)
+
+    # Pilot: a streamed taste of every point (cheap points may already
+    # meet the target and never see a refine run).
+    tallies: list[list[int]] = []
+    for p, latency in points:
+        result = experiment.run(p, latency, shots=pilot,
+                                target_precision=target)
+        tallies.append([result.failures, result.shots])
+    spent = sum(shots_used for _, shots_used in tallies)
+
+    # Allocate / refine until every point is tight or the budget is gone.
+    for _ in range(_MAX_REFINE_ROUNDS):
+        unmet = [
+            index for index, (failures, used) in enumerate(tallies)
+            if used < cap and not target.met(failures, used)
+        ]
+        remaining = global_budget - spent
+        if not unmet or remaining <= 0:
+            break
+        allocations = allocate_shots(
+            [tuple(tallies[i]) for i in unmet], remaining,
+            [cap - tallies[i][1] for i in unmet], relative=target.relative,
+        )
+        # Guarantee forward progress: a starved point still gets a
+        # minimum shard's worth (within its cap and the budget).
+        progressed = False
+        for index, allocation in zip(unmet, allocations):
+            point_cap = cap - tallies[index][1]
+            allocation = min(point_cap, max(allocation, _MIN_REFINE_SHOTS),
+                             max(0, global_budget - spent))
+            if allocation <= 0:
+                continue
+            p, latency = points[index]
+            result = experiment.run(
+                p, latency, shots=allocation, target_precision=target,
+                prior_tally=tuple(tallies[index]),
+            )
+            tallies[index][0] += result.failures
+            tallies[index][1] += result.shots
+            spent += result.shots
+            progressed = progressed or result.shots > 0
+        if not progressed:
+            break
+
+    return [
+        _combined_point_fields(failures, used, experiment.rounds, target, cap)
+        for failures, used in tallies
+    ]
 
 
 def sweep_physical_error(code: CSSCode, round_latency_us: float,
@@ -27,7 +205,11 @@ def sweep_physical_error(code: CSSCode, round_latency_us: float,
                          label: str = "", seed: int = 0,
                          backend: str = "packed",
                          workers: int = 1,
-                         shard_shots: int | None = None) -> ResultTable:
+                         shard_shots: int | None = None,
+                         target_precision: "float | PrecisionTarget | None"
+                         = None,
+                         max_shots: int | None = None,
+                         pilot_shots: int | None = None) -> ResultTable:
     """Logical error rate vs physical error rate at a fixed latency.
 
     ``workers`` runs each point's fused sample→decode pipeline across
@@ -37,25 +219,29 @@ def sweep_physical_error(code: CSSCode, round_latency_us: float,
     caches and the worker pool are shared by all points of the sweep.
     ``shard_shots`` overrides the default shots-per-shard (the decoder's
     block size).
+
+    With ``target_precision`` the sweep switches to the adaptive
+    pilot/allocate/refine scheduler (module docstring): ``shots``
+    becomes the *average* per-point budget of a global pool,
+    ``max_shots`` caps any single point and ``pilot_shots`` sizes the
+    pilot pass.  Every row reports ``shots_used``, the Wilson bounds
+    and whether the point stopped early.
     """
+    rates = list(physical_error_rates)
     table = ResultTable(
         title=f"LER sweep: {code.name} ({label or 'latency ' + str(round_latency_us) + ' us'})",
-        columns=["p", "round_latency_us", "shots", "failures",
-                 "logical_error_rate", "ler_per_round"],
+        columns=["p", "round_latency_us", "failures", "logical_error_rate",
+                 "ler_per_round"] + PRECISION_COLUMNS,
     )
     with MemoryExperiment(code=code, rounds=rounds, method=method,
                           seed=seed, backend=backend, workers=workers,
                           shard_shots=shard_shots) as experiment:
-        for p in physical_error_rates:
-            result = experiment.run(p, round_latency_us, shots=shots)
-            table.add_row(
-                p=p,
-                round_latency_us=round_latency_us,
-                shots=result.shots,
-                failures=result.failures,
-                logical_error_rate=result.logical_error_rate,
-                ler_per_round=result.logical_error_rate_per_round,
-            )
+        outcomes = _run_points(
+            experiment, [(p, round_latency_us) for p in rates], shots,
+            target_precision, max_shots, pilot_shots,
+        )
+    for p, fields in zip(rates, outcomes):
+        table.add_row(p=p, round_latency_us=round_latency_us, **fields)
     return table
 
 
@@ -64,52 +250,59 @@ def sweep_architectures(code: CSSCode, codesigns: Sequence[Codesign],
                         shots: int = 200, rounds: int | None = None,
                         method: str = "phenomenological",
                         seed: int = 0, workers: int = 1,
-                        shard_shots: int | None = None) -> ResultTable:
+                        shard_shots: int | None = None,
+                        target_precision: "float | PrecisionTarget | None"
+                        = None,
+                        max_shots: int | None = None,
+                        pilot_shots: int | None = None) -> ResultTable:
     """Compare codesigns on one code: latency, spatial cost and (optionally) LER.
 
     ``workers`` runs each codesign's fused sample→decode pipeline across
     worker processes (``0``: one per core), sharing one pool across the
-    sweep; ``shard_shots`` overrides the shots-per-shard default.
+    sweep; ``shard_shots`` overrides the shots-per-shard default.  With
+    ``target_precision`` the LER estimates run on the adaptive
+    pilot/allocate/refine scheduler across all codesigns (see
+    :func:`sweep_physical_error`).
     """
     columns = ["codesign", "execution_time_us", "num_traps", "num_junctions",
                "num_ancilla", "dac_count", "spacetime_cost",
                "parallelization"]
     if physical_error_rate is not None:
-        columns += ["p", "logical_error_rate"]
+        columns += ["p", "logical_error_rate"] + PRECISION_COLUMNS
     table = ResultTable(
         title=f"Architecture sweep: {code.name}", columns=columns,
     )
-    experiment = None
+    compiled_designs = [codesign.compile(code) for codesign in codesigns]
+    rows = []
+    for codesign, compiled in zip(codesigns, compiled_designs):
+        cost = spacetime_cost(compiled)
+        rows.append({
+            "codesign": codesign.name,
+            "execution_time_us": compiled.execution_time_us,
+            "num_traps": compiled.metadata.get("num_traps", 0),
+            "num_junctions": compiled.metadata.get("num_junctions", 0),
+            "num_ancilla": compiled.metadata.get("num_ancilla", 0),
+            "dac_count": compiled.metadata.get("dac_count", 0),
+            "spacetime_cost": cost.cost,
+            "parallelization": compiled.parallelization_fraction,
+        })
     if physical_error_rate is not None:
         # One cached experiment serves every codesign: only the latency
         # (and hence the priors) changes between operating points.
-        experiment = MemoryExperiment(code=code, rounds=rounds,
-                                      method=method, seed=seed,
-                                      workers=workers,
-                                      shard_shots=shard_shots)
-    try:
-        for codesign in codesigns:
-            compiled = codesign.compile(code)
-            cost = spacetime_cost(compiled)
-            row = {
-                "codesign": codesign.name,
-                "execution_time_us": compiled.execution_time_us,
-                "num_traps": compiled.metadata.get("num_traps", 0),
-                "num_junctions": compiled.metadata.get("num_junctions", 0),
-                "num_ancilla": compiled.metadata.get("num_ancilla", 0),
-                "dac_count": compiled.metadata.get("dac_count", 0),
-                "spacetime_cost": cost.cost,
-                "parallelization": compiled.parallelization_fraction,
-            }
-            if physical_error_rate is not None:
-                result = experiment.run(
-                    physical_error_rate, compiled.execution_time_us,
-                    shots=shots
-                )
-                row["p"] = physical_error_rate
-                row["logical_error_rate"] = result.logical_error_rate
-            table.add_row(**row)
-    finally:
-        if experiment is not None:
-            experiment.close()
+        with MemoryExperiment(code=code, rounds=rounds, method=method,
+                              seed=seed, workers=workers,
+                              shard_shots=shard_shots) as experiment:
+            outcomes = _run_points(
+                experiment,
+                [(physical_error_rate, compiled.execution_time_us)
+                 for compiled in compiled_designs],
+                shots, target_precision, max_shots, pilot_shots,
+            )
+        for row, fields in zip(rows, outcomes):
+            fields = dict(fields)
+            fields.pop("failures", None)
+            fields.pop("ler_per_round", None)
+            row.update(p=physical_error_rate, **fields)
+    for row in rows:
+        table.add_row(**row)
     return table

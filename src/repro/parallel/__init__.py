@@ -21,6 +21,7 @@ from repro.parallel.pipeline import (
     ExperimentHandle,
     PipelineResult,
     ShardedExperiment,
+    circuit_fingerprint,
     shard_layout,
     shard_seed_tree,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "PipelineResult",
     "ShardedDecoder",
     "ShardedExperiment",
+    "circuit_fingerprint",
     "resolve_workers",
     "shard_layout",
     "shard_seed_tree",

@@ -1,4 +1,4 @@
-"""Fused sample→decode pipeline, sharded across worker processes.
+"""Fused sample→decode pipeline, sharded and *streamed* across workers.
 
 PR 2 sharded the *decode* stage: the parent sampled every shot, then
 pickled syndrome slices out to a process pool.  At 100k–1M shot budgets
@@ -7,6 +7,16 @@ serial wall-clock floor.  This module moves the whole per-shard pipeline
 into the worker: each shard **samples its own shots and decodes them
 locally**, so syndromes never cross a process boundary and the sampling
 of one shard overlaps the decoding of another.
+
+PR 4 turns the executor from submit-all/gather-all into a **streaming
+engine**: shard results are consumed as they complete, folded into a
+running ``(failures, shots)`` tally, and fed through a Wilson
+confidence interval (:mod:`repro.core.stats`); once the interval's
+half-width reaches a caller-supplied ``target_precision`` the run stops
+— outstanding shards are cancelled and unsubmitted work is never
+materialized.  Low-noise operating points that would have burned their
+whole fixed budget now spend only the shots their confidence width
+actually needs.
 
 Determinism contract
 --------------------
@@ -24,12 +34,18 @@ process runs a shard:
   the shared decoder recipe; results are merged by shard index, never
   by completion order.
 
-Because every shard's bits are a pure function of ``(seed, shard_shots,
-shard_index)``, running the shards in-process (``workers=1``), across 2
-workers, or across 4 produces the same samples, the same corrections,
-the same convergence flags and the same failure count.  ``workers=1``
-runs the identical per-shard code path in the parent and is the
-cross-checked reference (`tests/test_fused_pipeline.py`).
+Early stopping preserves the contract because the stop decision is
+evaluated on the shard-**index prefix order** only: the tally grows by
+folding shard 0, then shard 1, … in submission order — a shard that
+completes out of order waits in a buffer until every lower-indexed
+shard has been folded — and the rule (:class:`~repro.core.stats.PrecisionTarget`,
+a pure function of the folded tally) is checked after each fold.  The
+stopping prefix, and therefore the contributing shard set, the LER,
+the corrections and the convergence flags, is identical for every
+worker count; workers only change how much already-submitted work
+beyond the prefix gets thrown away.  ``workers=1`` runs the identical
+per-shard code path in the parent and is the cross-checked reference
+(`tests/test_fused_pipeline.py`, `tests/test_streaming.py`).
 
 Design
 ------
@@ -42,13 +58,20 @@ Design
 * :class:`ShardedExperiment` owns the lazily created
   ``ProcessPoolExecutor``.  Workers receive the handle once via the
   pool initializer and build the decoder + packed matrices on their
-  first shard; each shard task then ships only the per-point priors,
-  the per-shard seed and — for the circuit method — the operating
-  point's circuit.  The circuit rides along with *every* shard task
-  (``ProcessPoolExecutor`` has no per-point broadcast), which is a few
-  KB of pickle per task against a multi-second decode; a worker-side
-  circuit cache is a noted follow-up for >10^6-shot circuit-level
-  budgets (see ROADMAP.md).
+  first shard; each shard task then ships only the per-point priors
+  and the per-shard seed.  Submission is bounded (a small in-flight
+  window per worker), so an early stop leaves the tail of the budget
+  unmaterialized instead of queued.
+* For the circuit method, each worker keeps a small **circuit cache**
+  keyed on a content fingerprint (:func:`circuit_fingerprint`, the
+  same structural-key idea as ``DemStructureCache``'s fault skeleton,
+  plus the noise rates): the parent ships the operating point's
+  circuit with only the first ``workers`` tasks; later tasks carry the
+  key alone, and a worker that misses (it never saw a payload task for
+  that point) raises a retry sentinel so the parent resubmits that one
+  shard with the payload attached.  Per point, the circuit crosses the
+  process boundary O(workers) times instead of O(shards) times
+  (``ShardedExperiment.last_run_stats`` records the counts).
 * The sweep caches stay in the parent: ``MemoryExperiment`` reuses its
   ``DemStructureCache`` / space-time structure across points and hands
   the pipeline the *same* check-matrix object each time, so the handle
@@ -57,13 +80,16 @@ Design
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.core.phenomenological import sample_phenomenological_shard
-from repro.decoders.bposd import BPOSDDecoder
+from repro.core.stats import PrecisionTarget, as_precision_target, binomial_interval
 from repro.linalg.bitops import pack_bits, packed_matmul
 from repro.parallel.sharded import DecoderHandle, resolve_workers
 from repro.sim.frame import sample_circuit_shard
@@ -72,6 +98,7 @@ __all__ = [
     "ExperimentHandle",
     "ShardedExperiment",
     "PipelineResult",
+    "circuit_fingerprint",
     "shard_layout",
     "shard_seed_tree",
 ]
@@ -112,15 +139,45 @@ def shard_seed_tree(seed, num_shards: int) -> list[np.random.SeedSequence]:
     return root.spawn(num_shards) if num_shards else []
 
 
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Content key for the worker-side circuit cache.
+
+    Digests every instruction (name, targets, noise arguments) plus the
+    detector/observable counts — the same information as the DEM fault
+    skeleton *and* the per-point noise rates, so two operating points
+    of one sweep get distinct keys while re-runs of the same circuit
+    hit the cache.  A stable digest (not ``hash()``) so parent and
+    workers agree across processes.
+    """
+    hasher = hashlib.sha1()
+    hasher.update(
+        f"{circuit.num_detectors}|{circuit.num_observables}".encode()
+    )
+    for ins in circuit.instructions:
+        hasher.update(
+            repr((ins.name, ins.targets, ins.argument, ins.arguments)).encode()
+        )
+    return hasher.hexdigest()
+
+
 @dataclass
 class PipelineResult:
-    """Merged outcome of a sharded sample→decode run.
+    """Merged outcome of a (possibly early-stopped) sample→decode run.
 
-    ``failures`` counts shots whose predicted observables disagree with
-    the sampled ones; ``bp_converged`` concatenates the per-shard BP
-    convergence flags in shard order.  ``errors`` holds the merged
-    corrections only when the run collected them
-    (``collect_errors=True`` — the hot path keeps them worker-local).
+    ``shots``/``failures``/``bp_converged``/``errors`` cover exactly
+    the **contributing prefix** of shards — the folded shards 0..k of
+    the stopping decision, identical for every worker count.
+    ``shots_requested`` is the full budget the caller asked for;
+    ``stopped_early`` says whether part of it was left unspent.
+
+    A ``prior_tally`` carried into the run is echoed back as
+    ``prior_failures``/``prior_shots``; the stop rule — and the
+    reported ``ci_low``/``ci_high`` at ``confidence`` — are evaluated
+    on the **combined** tally (``tally_failures``/``tally_shots``), so
+    the interval always matches :attr:`tally_error_rate` (not
+    :attr:`logical_error_rate`, which is this run's contribution
+    alone).  ``target_met`` is ``None`` when no ``target_precision``
+    was given.
     """
 
     shots: int
@@ -128,6 +185,40 @@ class PipelineResult:
     bp_converged: np.ndarray
     num_shards: int
     errors: np.ndarray | None = None
+    shots_requested: int | None = None
+    stopped_early: bool = False
+    target_met: bool | None = None
+    ci_low: float = 0.0
+    ci_high: float = 1.0
+    confidence: float = 0.95
+    prior_failures: int = 0
+    prior_shots: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shots_requested is None:
+            self.shots_requested = self.shots
+
+    @property
+    def shots_used(self) -> int:
+        """Alias for ``shots``: the shots that actually contribute."""
+        return self.shots
+
+    @property
+    def tally_failures(self) -> int:
+        """Failures of the stop-rule tally: prior + this run."""
+        return self.prior_failures + self.failures
+
+    @property
+    def tally_shots(self) -> int:
+        """Shots of the stop-rule tally: prior + this run."""
+        return self.prior_shots + self.shots
+
+    @property
+    def tally_error_rate(self) -> float:
+        """The estimate ``ci_low``/``ci_high`` actually bound."""
+        if self.tally_shots == 0:
+            return 0.0
+        return self.tally_failures / self.tally_shots
 
     @property
     def logical_error_rate(self) -> float:
@@ -230,36 +321,72 @@ class _PipelineState:
                 decoded.errors if collect_errors else None)
 
 
+class _CircuitCacheMiss(RuntimeError):
+    """Raised by a worker whose circuit cache lacks the task's key.
+
+    The parent resubmits the shard with the circuit payload attached;
+    the retried shard runs the identical ``(priors, seed, shots)`` so
+    the result is unchanged.  ``args[0]`` carries the missing key
+    (plain-args exceptions pickle cleanly across the pool boundary).
+    """
+
+
+#: How many circuits a worker retains (sweeps revisit at most a couple
+#: of operating points at a time; each circuit is a few KB).
+_WORKER_CIRCUIT_CAPACITY = 4
+
 # Per-process worker state: the handle arrives once via the pool
 # initializer; the pipeline state it describes is built lazily on the
-# first shard and re-priored (never rebuilt) on subsequent shards.
+# first shard and re-priored (never rebuilt) on subsequent shards.  The
+# circuit cache maps fingerprint keys to circuits shipped by payload
+# tasks (circuit method only).
 _WORKER_HANDLE: ExperimentHandle | None = None
 _WORKER_STATE: _PipelineState | None = None
+_WORKER_CIRCUITS: "OrderedDict[str, Circuit]" = OrderedDict()
 
 
 def _init_pipeline_worker(handle: ExperimentHandle) -> None:
     global _WORKER_HANDLE, _WORKER_STATE
     _WORKER_HANDLE = handle
     _WORKER_STATE = None
+    _WORKER_CIRCUITS.clear()
 
 
 def _run_pipeline_shard(priors: np.ndarray, circuit: Circuit | None,
+                        circuit_key: str | None,
                         seed: np.random.SeedSequence, shots: int,
                         collect_errors: bool
                         ) -> tuple[int, np.ndarray, np.ndarray | None]:
-    """Sample and decode one shard inside a worker process."""
+    """Sample and decode one shard inside a worker process.
+
+    ``circuit`` is the optional payload populating this worker's cache
+    under ``circuit_key``; a keyed task without payload resolves the
+    circuit from the cache or raises :class:`_CircuitCacheMiss` for the
+    parent to retry with the payload attached.
+    """
     global _WORKER_STATE
     if _WORKER_HANDLE is None:
         raise RuntimeError("worker pool was not initialised with a handle")
     if _WORKER_STATE is None:
         _WORKER_STATE = _WORKER_HANDLE.build_state()
+    if circuit_key is not None:
+        if circuit is not None:
+            _WORKER_CIRCUITS[circuit_key] = circuit
+            _WORKER_CIRCUITS.move_to_end(circuit_key)
+            while len(_WORKER_CIRCUITS) > _WORKER_CIRCUIT_CAPACITY:
+                _WORKER_CIRCUITS.popitem(last=False)
+        else:
+            circuit = _WORKER_CIRCUITS.get(circuit_key)
+            if circuit is None:
+                raise _CircuitCacheMiss(circuit_key)
+            _WORKER_CIRCUITS.move_to_end(circuit_key)
     return _WORKER_STATE.run_shard(priors, circuit, seed, shots,
                                    collect_errors)
 
 
 @dataclass
 class ShardedExperiment:
-    """Shard a full sample→decode experiment across worker processes.
+    """Stream a full sample→decode experiment across worker processes.
 
     Parameters
     ----------
@@ -272,20 +399,28 @@ class ShardedExperiment:
     shard_shots:
         Shots per shard (default: the decoder's ``block_shots``).  Part
         of the determinism key — changing it changes which seed-tree
-        child samples which shot, so compare runs at a fixed value.
+        child samples which shot, so compare runs at a fixed value.  It
+        is also the early-stop granularity: the stop rule is evaluated
+        once per folded shard.
 
     The executor is created lazily on the first multi-shard run and
     reused across calls (a sweep pays the process-spawn cost once);
     :meth:`close` — or using the instance as a context manager —
-    releases it.
+    releases it.  ``last_run_stats`` records, for the most recent
+    :meth:`run`, the submission/fold counters the instrumentation tests
+    assert on.
     """
 
     handle: ExperimentHandle
     workers: int | None = None
     shard_shots: int | None = None
+    last_run_stats: dict = field(default_factory=dict, init=False,
+                                 repr=False, compare=False)
     _executor: object | None = field(default=None, init=False, repr=False)
     _local: _PipelineState | None = field(default=None, init=False,
                                           repr=False)
+    _circuit_key_memo: tuple | None = field(default=None, init=False,
+                                            repr=False)
 
     def __post_init__(self) -> None:
         self.workers = resolve_workers(self.workers)
@@ -303,10 +438,24 @@ class ShardedExperiment:
         return self._local
 
     # ------------------------------------------------------------------
+    def _circuit_key(self, circuit: Circuit) -> str:
+        """Fingerprint of ``circuit``, memoized by object identity (the
+        sweep hands the same circuit object to every shard of a point)."""
+        if (self._circuit_key_memo is not None
+                and self._circuit_key_memo[0] is circuit):
+            return self._circuit_key_memo[1]
+        key = circuit_fingerprint(circuit)
+        self._circuit_key_memo = (circuit, key)
+        return key
+
+    # ------------------------------------------------------------------
     def run(self, shots: int, seed, priors: np.ndarray | None = None,
             circuit: Circuit | None = None,
-            collect_errors: bool = False) -> PipelineResult:
-        """Sample and decode ``shots`` shots, sharded across the pool.
+            collect_errors: bool = False,
+            target_precision: "float | PrecisionTarget | None" = None,
+            confidence: float = 0.95,
+            prior_tally: tuple[int, int] = (0, 0)) -> PipelineResult:
+        """Sample and decode up to ``shots`` shots, streamed across the pool.
 
         ``seed`` roots the shard seed tree (int or ``SeedSequence``;
         see :func:`shard_seed_tree`).  ``priors`` refresh the decoder
@@ -316,30 +465,59 @@ class ShardedExperiment:
         ``"circuit"`` method.  ``collect_errors=True`` additionally
         merges the per-shot corrections into the result (shipping them
         back from the workers — test/debug use, not the hot path).
+
+        ``target_precision`` (a half-width float, or a
+        :class:`~repro.core.stats.PrecisionTarget` for relative /
+        non-default-confidence targets) enables early stopping: the run
+        folds shard results in index order and stops at the first
+        prefix whose Wilson interval is tight enough.  ``prior_tally``
+        seeds the stop rule (and the reported interval) with
+        ``(failures, shots)`` from earlier runs of the same operating
+        point — the adaptive sweep's pilot pass uses this so a refine
+        run stops as soon as the *combined* tally meets the target.
         """
         if priors is None:
             priors = self.handle.decoder.priors
         priors = np.asarray(priors, dtype=float)
+        target = as_precision_target(target_precision, confidence=confidence)
+        report_confidence = target.confidence if target is not None else confidence
+        prior_failures, prior_shots = (int(prior_tally[0]),
+                                       int(prior_tally[1]))
+        if prior_failures < 0 or prior_shots < prior_failures:
+            raise ValueError("prior_tally must be (failures, shots) with "
+                             "0 <= failures <= shots")
         sizes = shard_layout(shots, self.shard_shots)
         seeds = shard_seed_tree(seed, len(sizes))
-        tasks = list(zip(sizes, seeds))
-        if self.workers <= 1 or len(tasks) <= 1:
-            outcomes = [
-                self.local_state.run_shard(priors, circuit, shard_seed,
-                                           shard_size, collect_errors)
-                for shard_size, shard_seed in tasks
-            ]
-        else:
-            executor = self._ensure_executor()
-            futures = [
-                executor.submit(_run_pipeline_shard, priors, circuit,
-                                shard_seed, shard_size, collect_errors)
-                for shard_size, shard_seed in tasks
-            ]
-            # Merge by submission (shard) order: completion order is
-            # scheduler-dependent and must not leak into the result.
-            outcomes = [future.result() for future in futures]
+
+        stats = {
+            "num_shards": len(sizes),
+            "shards_run": 0,
+            "shards_folded": 0,
+            "tasks_submitted": 0,
+            "circuit_payload_tasks": 0,
+            "circuit_cache_misses": 0,
+        }
+        tally_failures = prior_failures
+        tally_shots = prior_shots
+        met = target.met(tally_failures, tally_shots) if target else False
+        outcomes: list[tuple] = []
+
+        if not met:
+            if self.workers <= 1 or len(sizes) <= 1:
+                outcomes, met = self._run_local(sizes, seeds, priors, circuit,
+                                                collect_errors, target,
+                                                tally_failures, tally_shots,
+                                                stats)
+            else:
+                outcomes, met = self._run_streamed(sizes, seeds, priors,
+                                                   circuit, collect_errors,
+                                                   target, tally_failures,
+                                                   tally_shots, stats)
+        stats["shards_folded"] = len(outcomes)
+        self.last_run_stats = stats
+
         failures = sum(outcome[0] for outcome in outcomes)
+        used_shots = sum(sizes[: len(outcomes)])
         if outcomes:
             bp_converged = np.concatenate([o[1] for o in outcomes])
         else:
@@ -353,9 +531,116 @@ class ShardedExperiment:
                     (0, self.handle.decoder.check_matrix.shape[1]),
                     dtype=np.uint8,
                 )
-        return PipelineResult(shots=shots, failures=failures,
-                              bp_converged=bp_converged,
-                              num_shards=len(sizes), errors=errors)
+        ci_low, ci_high = binomial_interval(
+            prior_failures + failures, prior_shots + used_shots,
+            report_confidence,
+        )
+        return PipelineResult(
+            shots=used_shots, failures=failures, bp_converged=bp_converged,
+            num_shards=len(outcomes), errors=errors, shots_requested=shots,
+            stopped_early=bool(met and len(outcomes) < len(sizes)),
+            target_met=(None if target is None else bool(met)),
+            ci_low=ci_low, ci_high=ci_high, confidence=report_confidence,
+            prior_failures=prior_failures, prior_shots=prior_shots,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_local(self, sizes, seeds, priors, circuit, collect_errors,
+                   target, tally_failures, tally_shots, stats):
+        """In-process reference: fold shards in index order, stop at the
+        first prefix meeting the target.  The exact decision sequence
+        the streamed path reproduces."""
+        outcomes = []
+        met = False
+        for size, shard_seed in zip(sizes, seeds):
+            outcome = self.local_state.run_shard(priors, circuit, shard_seed,
+                                                 size, collect_errors)
+            stats["shards_run"] += 1
+            outcomes.append(outcome)
+            tally_failures += outcome[0]
+            tally_shots += size
+            if target is not None and target.met(tally_failures, tally_shots):
+                met = True
+                break
+        return outcomes, met
+
+    def _run_streamed(self, sizes, seeds, priors, circuit, collect_errors,
+                      target, tally_failures, tally_shots, stats):
+        """Streamed execution: bounded in-flight submission, completion
+        buffered out of order, folds strictly in shard-index order.
+
+        The stop rule only ever sees prefix tallies, so the stopping
+        shard — and everything derived from it — matches `_run_local`
+        bit for bit; completion order decides nothing but how much
+        beyond-prefix work gets discarded.
+        """
+        needs_circuit = self.handle.method == "circuit"
+        circuit_key = None
+        if needs_circuit:
+            if circuit is None:
+                raise ValueError("the circuit method needs a circuit per run")
+            circuit_key = self._circuit_key(circuit)
+        executor = self._ensure_executor()
+        # Enough in-flight work to keep every worker busy while the
+        # prefix folds, small enough that an early stop wastes at most
+        # ~two shards per worker.
+        max_inflight = max(2 * self.workers, 2)
+        payload_quota = self.workers if needs_circuit else 0
+
+        pending: dict = {}
+        ready: dict[int, tuple] = {}
+        retries: dict[int, int] = {}
+        outcomes: list[tuple] = []
+        next_submit = 0
+        met = False
+
+        def submit(index: int, with_payload: bool) -> None:
+            payload = circuit if (needs_circuit and with_payload) else None
+            if payload is not None:
+                stats["circuit_payload_tasks"] += 1
+            stats["tasks_submitted"] += 1
+            future = executor.submit(
+                _run_pipeline_shard, priors, payload, circuit_key,
+                seeds[index], sizes[index], collect_errors,
+            )
+            pending[future] = index
+
+        try:
+            while True:
+                while (next_submit < len(sizes)
+                       and len(pending) < max_inflight):
+                    submit(next_submit, with_payload=payload_quota > 0)
+                    payload_quota = max(0, payload_quota - 1)
+                    next_submit += 1
+                while len(outcomes) in ready:
+                    outcome = ready.pop(len(outcomes))
+                    outcomes.append(outcome)
+                    tally_failures += outcome[0]
+                    tally_shots += sizes[len(outcomes) - 1]
+                    if target is not None and target.met(tally_failures,
+                                                         tally_shots):
+                        met = True
+                        break
+                if met or len(outcomes) == len(sizes):
+                    break
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    try:
+                        ready[index] = future.result()
+                        stats["shards_run"] += 1
+                    except _CircuitCacheMiss:
+                        stats["circuit_cache_misses"] += 1
+                        if retries.get(index, 0) >= 2:
+                            raise
+                        retries[index] = retries.get(index, 0) + 1
+                        submit(index, with_payload=True)
+        finally:
+            # Early stop or error: whatever is still queued is wasted
+            # work — cancel it (running shards finish and are ignored).
+            for future in pending:
+                future.cancel()
+        return outcomes, met
 
     # ------------------------------------------------------------------
     def _ensure_executor(self):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.circuits import SyndromeCircuitBuilder, memory_experiment_circuit
-from repro.codes import surface_code, x_then_z_schedule
+from repro.codes import x_then_z_schedule
 from repro.noise import HardwareNoiseModel
 from repro.sim import FrameSimulator
 

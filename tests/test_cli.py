@@ -117,6 +117,35 @@ class TestCommands:
             outputs[workers] = json.loads(out_file.read_text())["rows"]
         assert outputs[1] == outputs[2]
 
+    def test_memory_command_with_target_precision(self, capsys, tmp_path):
+        """--target-precision runs the adaptive scheduler: rows report
+        shots_used / Wilson bounds, and the noisy point gets the
+        budget."""
+        out_file = tmp_path / "ler.json"
+        exit_code = main([
+            "memory", "surface-d3", "--codesign", "cyclone",
+            "--physical-error-rates", "3e-3", "2e-2", "--shots", "400",
+            "--rounds", "2", "--target-precision", "0.02",
+            "--pilot-shots", "64", "--output", str(out_file),
+        ])
+        assert exit_code == 0
+        capsys.readouterr()
+        rows = json.loads(out_file.read_text())["rows"]
+        assert len(rows) == 2
+        quiet, noisy = rows
+        assert quiet["shots_used"] < noisy["shots_used"]
+        assert quiet["stopped_early"]
+        for row in rows:
+            assert 0.0 <= row["ci_low"] <= row["ci_high"] <= 1.0
+
+    def test_relative_precision_requires_target(self, capsys):
+        exit_code = main([
+            "memory", "surface-d3", "--relative-precision",
+            "--physical-error-rates", "3e-3", "--shots", "10",
+        ])
+        assert exit_code == 2
+        assert "--target-precision" in capsys.readouterr().err
+
     def test_speedup_command(self, capsys):
         exit_code = main(["speedup", "--codes", "BB [[72,12,6]]"])
         assert exit_code == 0

@@ -11,7 +11,7 @@ from repro.analysis import (
     single_vs_split_loop_table,
     stabilizer_connectivity_graph,
 )
-from repro.codes import CSSCode, code_by_name, surface_code
+from repro.codes import CSSCode, code_by_name
 
 
 def _two_disjoint_repetition_blocks() -> CSSCode:

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codes import surface_code
 from repro.qccd import (
     CompiledSchedule,
     OpKind,

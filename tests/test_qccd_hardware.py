@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.codes import code_by_name, surface_code
 from repro.qccd import (
     OperationTimes,
-    QCCDDevice,
     SwapKind,
     baseline_grid_device,
     alternate_grid_device,

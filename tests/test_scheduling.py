@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.codes import (
     bivariate_bicycle_code,
-    code_by_name,
     interleaved_schedule,
     parallelism_bound,
     schedule_for,

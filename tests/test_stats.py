@@ -1,0 +1,146 @@
+"""Interval math behind the streaming early-stop rule.
+
+The contract the pipeline relies on: intervals always cover sane ranges
+(within [0, 1], containing the point estimate), shrink with more shots,
+and :meth:`PrecisionTarget.met` is a monotone, pure function of the
+``(failures, shots)`` tally — never of how the tally was produced.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    PrecisionTarget,
+    agresti_coull_interval,
+    as_precision_target,
+    binomial_interval,
+    wilson_interval,
+    z_score,
+)
+
+TALLIES = st.integers(0, 10_000).flatmap(
+    lambda shots: st.tuples(st.integers(0, shots), st.just(shots))
+)
+
+
+class TestZScore:
+    def test_standard_values(self):
+        assert z_score(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert z_score(0.99) == pytest.approx(2.575829, abs=1e-5)
+
+    def test_rejects_degenerate_levels(self):
+        for confidence in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                z_score(confidence)
+
+
+class TestIntervals:
+    @given(TALLIES)
+    @settings(max_examples=200, deadline=None)
+    def test_intervals_cover_the_point_estimate(self, tally):
+        failures, shots = tally
+        for interval in (wilson_interval, agresti_coull_interval,
+                         binomial_interval):
+            low, high = interval(failures, shots)
+            assert 0.0 <= low <= high <= 1.0
+            assert math.isfinite(low) and math.isfinite(high)
+            if shots:
+                p_hat = failures / shots
+                # Wilson/AC shrink towards 1/2, but always cover p_hat
+                # at the default confidence.
+                assert low <= p_hat + 1e-12
+                assert high >= p_hat - 1e-12
+
+    def test_zero_shots_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        assert agresti_coull_interval(0, 0) == (0.0, 1.0)
+
+    def test_zero_failures_has_nonzero_width(self):
+        low, high = binomial_interval(0, 1000)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert 0.0 < high < 0.01
+
+    @given(st.integers(1, 500), st.integers(1, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_width_shrinks_with_shots(self, shots, factor):
+        p = 0.1
+        small = binomial_interval(int(p * shots), shots)
+        large = binomial_interval(int(p * shots * factor), shots * factor)
+        width = lambda iv: iv[1] - iv[0]  # noqa: E731
+        assert width(large) <= width(small) + 1e-12
+
+    def test_higher_confidence_is_wider(self):
+        narrow = binomial_interval(5, 200, confidence=0.90)
+        wide = binomial_interval(5, 200, confidence=0.99)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_invalid_tallies_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(0, -1)
+
+    def test_matches_textbook_wilson_value(self):
+        # 10/100 at 95%: canonical Wilson bounds.
+        low, high = wilson_interval(10, 100)
+        assert low == pytest.approx(0.0552, abs=2e-4)
+        assert high == pytest.approx(0.1744, abs=2e-4)
+
+
+class TestPrecisionTarget:
+    def test_absolute_target_met_once_tight(self):
+        target = PrecisionTarget(half_width=0.02)
+        assert not target.met(5, 50)
+        assert target.met(50, 5000)
+
+    def test_never_met_at_zero_shots(self):
+        assert not PrecisionTarget(half_width=0.5).met(0, 0)
+
+    def test_min_shots_floor(self):
+        target = PrecisionTarget(half_width=0.5, min_shots=100)
+        assert not target.met(0, 99)
+        assert target.met(0, 100)
+
+    def test_relative_target_requires_failures(self):
+        target = PrecisionTarget(half_width=0.5, relative=True)
+        assert not target.met(0, 10_000_000)
+        assert target.met(2500, 10_000)
+
+    @given(TALLIES, st.floats(1e-4, 0.5), st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_met_is_monotone_in_shots_at_fixed_rate(self, tally, half_width,
+                                                    relative):
+        """Scaling the same observed rate to 4x the shots never un-meets
+        an absolute or relative target (intervals only tighten)."""
+        failures, shots = tally
+        target = PrecisionTarget(half_width=half_width, relative=relative)
+        if target.met(failures, shots):
+            assert target.met(failures * 4, shots * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrecisionTarget(half_width=0.0)
+        with pytest.raises(ValueError):
+            PrecisionTarget(half_width=0.1, confidence=1.0)
+        with pytest.raises(ValueError):
+            PrecisionTarget(half_width=0.1, min_shots=-1)
+
+
+class TestCoercion:
+    def test_none_passes_through(self):
+        assert as_precision_target(None) is None
+
+    def test_float_becomes_absolute_target(self):
+        target = as_precision_target(0.01, confidence=0.9)
+        assert target == PrecisionTarget(half_width=0.01, confidence=0.9)
+
+    def test_target_instance_unchanged(self):
+        target = PrecisionTarget(half_width=0.3, relative=True)
+        assert as_precision_target(target) is target
