@@ -19,12 +19,24 @@ single-core host all workers share one core and the comparison is
 meaningless by construction.
 
 Intended to run alongside the tier-1 tests whenever a hot path is
-touched::
+touched.  On the baseline host (where the committed numbers were
+measured and the comparison is authoritative) run it **strict**::
 
-    PYTHONPATH=src python benchmarks/check_bench.py
+    REPRO_CHECK_STRICT=1 PYTHONPATH=src python benchmarks/check_bench.py
+
+Without ``REPRO_CHECK_STRICT=1`` the gate is **advisory**: failures
+are reported in full but the exit code stays 0, because on an
+arbitrary host (hosted CI runners included) absolute shots/s against a
+baseline from another machine is noise, and a hard failure there
+teaches people to ignore the gate.  Strict mode restores exit code 1
+on any gate failure — set it wherever the baseline numbers are
+trustworthy.  (CI uploads the advisory report as a workflow artifact
+either way.)
 
 Knobs (environment variables):
 
+* ``REPRO_CHECK_STRICT``    — ``1``: exit non-zero on gate failures
+  (baseline host); unset/other: report-only advisory mode
 * ``REPRO_CHECK_SHOTS``     — fresh-measurement shot budget (default:
   the baseline's ``memory_experiment_shots``; throughput normalises the
   comparison, so a smaller budget still gates, just noisier)
@@ -32,6 +44,8 @@ Knobs (environment variables):
 * ``REPRO_CHECK_WORKERS``   — workers for the end-to-end run (default
   1, matching how the baseline's packed number is measured)
 * ``REPRO_CHECK_ADAPTIVE_MIN`` — minimum adaptive-sweep speedup
+  (default 3.0; see below)
+* ``REPRO_CHECK_CAMPAIGN_MIN`` — minimum campaign resume speedup
   (default 3.0; see below)
 
 A third gate covers the **adaptive sweep**: the fixed-budget vs
@@ -44,7 +58,15 @@ shots/point — below that the lowest-LER point sees too few failures
 for a stable relative-width target.  Skipped with a note when the
 committed baseline predates the ``adaptive_sweep`` section.
 
-Exit codes: 0 pass, 1 throughput regression, 2 missing/invalid baseline.
+A fourth gate covers the **campaign resume contract**
+(``run_campaign_resume_comparison``): the resumed run of the bundled
+``ci_smoke`` campaign must sample **zero** shots, render bit-identical
+tables, and come in at least ``REPRO_CHECK_CAMPAIGN_MIN``x faster than
+the cold run.  Skipped with a note when the committed baseline
+predates the ``campaign_resume`` section.
+
+Exit codes: 0 pass (always, unless strict), 1 gate failure under
+``REPRO_CHECK_STRICT=1``, 2 missing/invalid baseline (any mode).
 """
 
 from __future__ import annotations
@@ -56,6 +78,7 @@ import sys
 from perf_smoke import (
     OUTPUT_PATH,
     run_adaptive_sweep_comparison,
+    run_campaign_resume_comparison,
     time_memory_experiment,
     time_sharded_pipeline,
 )
@@ -165,6 +188,37 @@ def main() -> int:
         else:
             print("  OK")
 
+    if baseline["sections"].get("campaign_resume") is None:
+        print("note: baseline has no campaign_resume section; skipping the "
+              "campaign resume gate (re-run perf_smoke to record one)")
+    else:
+        campaign_min = _float_env("REPRO_CHECK_CAMPAIGN_MIN", 3.0)
+        budget = int(baseline["budgets"].get("campaign_resume_budget", 3000))
+        print(f"measuring campaign resume (ci_smoke, budget {budget}, cold "
+              "vs resumed)...", flush=True)
+        campaign = run_campaign_resume_comparison(budget)
+        print(f"[campaign resume] cold {campaign['cold_seconds']:.2f}s, "
+              f"resumed {campaign['resumed_seconds']:.2f}s "
+              f"(x{campaign['speedup']:.2f}, resumed_shots="
+              f"{campaign['resumed_shots_sampled']}, tables_identical="
+              f"{campaign['tables_identical']})")
+        if campaign["resumed_shots_sampled"] != 0:
+            print("FAIL: a store-resumed campaign re-sampled "
+                  f"{campaign['resumed_shots_sampled']} shots (must be 0)",
+                  file=sys.stderr)
+            ok = False
+        elif not campaign["tables_identical"]:
+            print("FAIL: store-resumed campaign tables differ from the "
+                  "cold run", file=sys.stderr)
+            ok = False
+        elif campaign["speedup"] < campaign_min:
+            print(f"FAIL: campaign resume speedup "
+                  f"{campaign['speedup']:.2f}x below the "
+                  f"{campaign_min:.1f}x gate", file=sys.stderr)
+            ok = False
+        else:
+            print("  OK")
+
     if baseline["sections"].get("adaptive_sweep") is None:
         print("note: baseline has no adaptive_sweep section; skipping the "
               "adaptive-sweep gate (re-run perf_smoke to record one)")
@@ -191,7 +245,16 @@ def main() -> int:
             print("  OK")
 
     if not ok:
-        return 1
+        if os.environ.get("REPRO_CHECK_STRICT", "") == "1":
+            print("FAIL: gate failures with REPRO_CHECK_STRICT=1",
+                  file=sys.stderr)
+            return 1
+        print("ADVISORY: gate failures reported above, but exiting 0 "
+              "because REPRO_CHECK_STRICT is unset — against a baseline "
+              "from another machine the absolute numbers are noise.  On "
+              "the baseline host run with REPRO_CHECK_STRICT=1 so real "
+              "regressions fail the build.", file=sys.stderr)
+        return 0
     print("OK: throughput within tolerance of the committed baseline")
     return 0
 

@@ -20,6 +20,7 @@ with the environment variables below (e.g. for a quick CI sanity check):
 * ``REPRO_PERF_FRAME_SHOTS``  — frame-sampling shots            (20000)
 * ``REPRO_PERF_SHARD_SHOTS``  — sharded-section shots           (100000)
 * ``REPRO_PERF_SWEEP_SHOTS``  — adaptive-sweep shots per point  (4000)
+* ``REPRO_PERF_CAMPAIGN_BUDGET`` — campaign-resume global budget (3000)
 
 Two sharded sections run the headline workload single- and multi-core
 (``workers`` 1/2/4, packed backend only): ``sharded_memory_experiment``
@@ -38,6 +39,12 @@ Wilson half-width, and records the wall-clock reduction (target: >= 3x;
 ``check_bench.py`` gates it).  It runs single-worker, so it is *not*
 skipped on 1-core hosts.
 
+The ``campaign_resume`` section runs the bundled ``ci_smoke`` campaign
+twice against one result store — cold, then resumed — and records that
+the resumed run samples **zero** shots while rendering bit-identical
+tables, plus the wall-clock ratio (``check_bench.py`` gates both; also
+single-worker and 1-core-meaningful).
+
 This is a plain script (not a pytest benchmark) because the boolean
 reference path is deliberately slow — minutes at the default budget —
 and should only run when a perf data point is wanted.
@@ -53,6 +60,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.campaign import load_spec, run_campaign
 from repro.circuits import memory_experiment_circuit
 from repro.codes import code_by_name, surface_code
 from repro.core.memory import MemoryExperiment
@@ -432,12 +440,51 @@ def run_adaptive_sweep_comparison(shots: int) -> dict:
     }
 
 
+def run_campaign_resume_comparison(budget: int) -> dict:
+    """Cold vs store-resumed run of the bundled ``ci_smoke`` campaign.
+
+    The cold run samples the campaign under its global budget and
+    appends every point to a fresh result store; the resumed run must
+    serve every point from the store — zero shots sampled — and render
+    bit-identical tables.  Shared by ``perf_smoke.py`` (committed
+    section) and ``check_bench.py`` (regression gate: correctness of
+    the resume contract plus the wall-clock ratio).
+    """
+    import tempfile
+
+    spec = load_spec("ci_smoke")
+    with tempfile.TemporaryDirectory() as tmp:
+        store = os.path.join(tmp, "campaign_store.jsonl")
+        cold_seconds, cold = _timed(
+            lambda: run_campaign(spec, store=store, budget=budget))
+        resumed_seconds, resumed = _timed(
+            lambda: run_campaign(spec, store=store, budget=budget))
+    tables_identical = all(
+        a.to_json() == b.to_json()
+        for a, b in zip(cold.tables, resumed.tables)
+    )
+    return {
+        "description": f"ci_smoke campaign ({spec.num_points} points, "
+                       f"budget {budget}), cold vs store-resumed",
+        "budget": budget,
+        "cold_seconds": cold_seconds,
+        "resumed_seconds": resumed_seconds,
+        "speedup": cold_seconds / max(resumed_seconds, 1e-9),
+        "cold_shots_sampled": cold.shots_sampled,
+        "resumed_shots_sampled": resumed.shots_sampled,
+        "points_resumed": resumed.points_reused,
+        "points_total": resumed.points_total,
+        "tables_identical": tables_identical,
+    }
+
+
 def main() -> None:
     shots = _int_env("REPRO_PERF_SHOTS", 10_000)
     decode_shots = _int_env("REPRO_PERF_DECODE_SHOTS", 2_000)
     frame_shots = _int_env("REPRO_PERF_FRAME_SHOTS", 20_000)
     shard_shots = _int_env("REPRO_PERF_SHARD_SHOTS", 100_000)
     sweep_shots = _int_env("REPRO_PERF_SWEEP_SHOTS", 4_000)
+    campaign_budget = _int_env("REPRO_PERF_CAMPAIGN_BUDGET", 3_000)
 
     sections = {}
     print(f"frame sampling ({frame_shots} shots)...", flush=True)
@@ -458,6 +505,10 @@ def main() -> None:
     print(f"adaptive sweep ({sweep_shots} shots/point fixed vs adaptive)...",
           flush=True)
     sections["adaptive_sweep"] = run_adaptive_sweep_comparison(sweep_shots)
+    print(f"campaign resume (ci_smoke, budget {campaign_budget}, cold vs "
+          "resumed)...", flush=True)
+    sections["campaign_resume"] = run_campaign_resume_comparison(
+        campaign_budget)
 
     report = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -470,6 +521,7 @@ def main() -> None:
             "frame_sampling_shots": frame_shots,
             "sharded_memory_experiment_shots": shard_shots,
             "adaptive_sweep_shots": sweep_shots,
+            "campaign_resume_budget": campaign_budget,
         },
         "sections": sections,
         "headline_speedup": sections["memory_experiment"]["speedup"],
@@ -501,6 +553,14 @@ def main() -> None:
           f"({adaptive['adaptive_shots_total']} shots)  "
           f"x{adaptive['speedup']:.2f} at equal width "
           f"(width_ok={adaptive['width_ok']}, target >= 3x)")
+    campaign = sections["campaign_resume"]
+    print("campaign_resume:")
+    print(f"  cold     {campaign['cold_seconds']:8.2f}s  "
+          f"({campaign['cold_shots_sampled']} shots sampled)")
+    print(f"  resumed  {campaign['resumed_seconds']:8.2f}s  "
+          f"({campaign['resumed_shots_sampled']} shots sampled)  "
+          f"x{campaign['speedup']:.2f}  "
+          f"tables_identical={campaign['tables_identical']}")
     print(f"\nheadline speedup: {report['headline_speedup']:.1f}x "
           f"(target >= 5x) on {report['cpu_count']} cores; "
           f"wrote {OUTPUT_PATH}")

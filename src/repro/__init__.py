@@ -23,6 +23,10 @@ Memory" (HPCA 2026).  The library is organised bottom-up:
 ``repro.core``
     Codesigns, memory experiments, spacetime cost and parameter sweeps
     — the pipeline behind every figure in the paper's evaluation.
+``repro.campaign``
+    Cross-sweep campaign orchestration: a declarative spec of every
+    curve, one global shot budget, one shared worker pool, and a
+    resumable result store (``repro campaign paper_figures``).
 ``repro.analysis``
     Higher-level analyses (parallelism bounds, sensitivity studies,
     confusion matrix) used by the benchmark harness.
@@ -66,10 +70,18 @@ from repro.core import (
     sweep_physical_error,
     sweep_architectures,
 )
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    SweepSpec,
+    load_spec,
+    run_campaign,
+)
 from repro.noise import BaseNoiseModel, HardwareNoiseModel
 from repro.parallel import (
     DecoderHandle,
     ExperimentHandle,
+    SharedPool,
     ShardedDecoder,
     ShardedExperiment,
 )
@@ -101,8 +113,14 @@ __all__ = [
     "sweep_architectures",
     "BaseNoiseModel",
     "HardwareNoiseModel",
+    "CampaignSpec",
+    "ResultStore",
+    "SweepSpec",
+    "load_spec",
+    "run_campaign",
     "DecoderHandle",
     "ExperimentHandle",
+    "SharedPool",
     "ShardedDecoder",
     "ShardedExperiment",
     "OperationTimes",

@@ -5,8 +5,11 @@ affected codesign(s) and — where the paper's figure reports logical
 error rates — re-runs the hardware-aware memory experiment with the new
 latency.  Every LER-producing sweep accepts ``workers=`` (``0``: one
 worker per core) to run the fused sample→decode pipeline across a
-process pool shared by all of the sweep's points; results are
-bit-identical for any worker count.
+process pool shared by all of the sweep's points, and ``pool=`` (a
+:class:`~repro.parallel.pipeline.SharedPool`) to share that pool with
+*other* sweeps — a campaign running several sensitivity studies spawns
+one set of worker processes for all of them.  Results are bit-identical
+for any worker count, pooled or not.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from repro.codes.css import CSSCode
 from repro.core.codesign import codesign_by_name
 from repro.core.memory import MemoryExperiment
 from repro.core.results import ResultTable
+from repro.parallel.pipeline import SharedPool
 from repro.qccd.compilers import CycloneCompiler, EJFGridCompiler
 from repro.qccd.timing import OperationTimes, SwapKind
 
@@ -31,15 +35,16 @@ __all__ = [
 
 
 def _sweep_experiment(code: CSSCode, rounds: int | None, seed: int,
-                      workers: int = 1) -> MemoryExperiment:
+                      workers: int = 1,
+                      pool: SharedPool | None = None) -> MemoryExperiment:
     """One experiment per sweep: the space-time structure, decoder graph
     and (for ``workers > 1``) the fused-pipeline worker pool are cached
     inside it, so successive operating points only refresh priors
     instead of rebuilding identical decoders or respawning processes.
     Use as a context manager so the pool is released when the sweep
-    ends."""
+    ends (an externally owned ``pool=`` survives that release)."""
     return MemoryExperiment(code=code, rounds=rounds, seed=seed,
-                            workers=workers)
+                            workers=workers, pool=pool)
 
 
 def _ler(experiment: MemoryExperiment, physical_error_rate: float,
@@ -58,7 +63,8 @@ def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
                       shots: int = 200, rounds: int | None = None,
                       seed: int = 0, workers: int = 1,
                       target_precision=None,
-                      max_shots: int | None = None) -> ResultTable:
+                      max_shots: int | None = None,
+                      pool: SharedPool | None = None) -> ResultTable:
     """Figure 5: LER improvement when the baseline latency is divided by k.
 
     The baseline grid schedule is compiled once; its latency is then
@@ -71,7 +77,7 @@ def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
               f"p={physical_error_rate:g})",
         columns=["speedup", "round_latency_us", "logical_error_rate"],
     )
-    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
         for speedup in speedups:
             scaled = latency / speedup
             table.add_row(
@@ -91,7 +97,8 @@ def junction_crossing_sensitivity(code: CSSCode,
                                   shots: int = 200, rounds: int | None = None,
                                   seed: int = 0, workers: int = 1,
                                   target_precision=None,
-                                  max_shots: int | None = None
+                                  max_shots: int | None = None,
+                                  pool: SharedPool | None = None
                                   ) -> ResultTable:
     """Figure 9: mesh junction network LER vs junction-crossing reduction.
 
@@ -104,7 +111,7 @@ def junction_crossing_sensitivity(code: CSSCode,
         columns=["design", "junction_reduction", "execution_time_us",
                  "logical_error_rate"],
     )
-    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
         baseline = codesign_by_name("baseline").compile(code)
         table.add_row(
             design="baseline_grid", junction_reduction=0.0,
@@ -134,7 +141,8 @@ def trap_arrangement_sensitivity(code: CSSCode,
                                  include_ler: bool = True,
                                  seed: int = 0, workers: int = 1,
                                  target_precision=None,
-                                 max_shots: int | None = None
+                                 max_shots: int | None = None,
+                                 pool: SharedPool | None = None
                                  ) -> ResultTable:
     """Figure 13: Cyclone performance across "tight" trap/capacity points.
 
@@ -153,7 +161,7 @@ def trap_arrangement_sensitivity(code: CSSCode,
         columns=["num_traps", "trap_capacity", "chain_length",
                  "execution_time_us", "logical_error_rate"],
     )
-    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
         for x in trap_counts:
             x = max(1, min(int(x), m_basis)) if m_basis else 1
             compiled = CycloneCompiler(num_traps=x).compile(code)
@@ -180,7 +188,8 @@ def loose_capacity_sensitivity(code: CSSCode,
                                shots: int = 200, rounds: int | None = None,
                                seed: int = 0, workers: int = 1,
                                target_precision=None,
-                               max_shots: int | None = None) -> ResultTable:
+                               max_shots: int | None = None,
+                               pool: SharedPool | None = None) -> ResultTable:
     """Figure 17: baseline LER when given extra ("loose") trap capacity.
 
     The paper finds negligible improvement, confirming the baseline is
@@ -191,7 +200,7 @@ def loose_capacity_sensitivity(code: CSSCode,
               f"({code.name}, p={physical_error_rate:g})",
         columns=["trap_capacity", "execution_time_us", "logical_error_rate"],
     )
-    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
         for capacity in capacities:
             compiled = EJFGridCompiler(trap_capacity=capacity).compile(code)
             table.add_row(
@@ -211,7 +220,8 @@ def operation_time_sensitivity(code: CSSCode,
                                shots: int = 200, rounds: int | None = None,
                                seed: int = 0, workers: int = 1,
                                target_precision=None,
-                               max_shots: int | None = None) -> ResultTable:
+                               max_shots: int | None = None,
+                               pool: SharedPool | None = None) -> ResultTable:
     """Figure 18: LER as gate and shuttling times are reduced by r.
 
     Both the baseline and Cyclone are recompiled with the improved
@@ -224,7 +234,7 @@ def operation_time_sensitivity(code: CSSCode,
         columns=["reduction", "design", "execution_time_us",
                  "logical_error_rate"],
     )
-    with _sweep_experiment(code, rounds, seed, workers) as experiment:
+    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
         for reduction in reductions:
             times = OperationTimes(improvement_factor=reduction)
             for design in ("baseline", "cyclone"):

@@ -1,0 +1,37 @@
+"""Cross-sweep campaign orchestration: the paper as one run.
+
+``repro.campaign`` turns the library's sweeps into a reproduction
+engine: a declarative spec (:class:`CampaignSpec`) lists every curve to
+estimate, and :func:`run_campaign` runs them all against one shared
+process pool and one global shot budget — piloting every point, then
+repeatedly re-allocating the remaining budget to the points (in any
+sweep) whose confidence intervals need it most.  A resumable result
+store (:class:`ResultStore`) makes re-runs free and interruption safe:
+completed points are keyed by a content fingerprint of their
+parameters and are reused bit-identically instead of re-sampled.
+
+See ``docs/campaigns.md`` for the spec format, budget semantics and
+resume guarantees, and ``repro campaign --help`` for the CLI.
+"""
+
+from repro.campaign.orchestrator import CampaignResult, run_campaign
+from repro.campaign.spec import (
+    CampaignSpec,
+    SweepSpec,
+    available_specs,
+    builtin_spec,
+    load_spec,
+)
+from repro.campaign.store import ResultStore, fingerprint
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "ResultStore",
+    "SweepSpec",
+    "available_specs",
+    "builtin_spec",
+    "fingerprint",
+    "load_spec",
+    "run_campaign",
+]

@@ -1,0 +1,396 @@
+"""The campaign orchestrator: every sweep, one budget, one pool.
+
+PR 4's adaptive scheduler splits one sweep's budget across that sweep's
+points.  A campaign runs the same pilot/allocate/refine loop **one
+level up**: every curve point of every sweep joins a single pool of
+:class:`~repro.core.sweep.AdaptivePoint` entries, and the global shot
+budget flows to whichever points — in whichever sweeps — still need
+confidence width.  The refine engine itself is shared with the
+single-sweep scheduler (:func:`repro.core.sweep.run_adaptive_refine`),
+so a one-sweep campaign allocates exactly like
+:func:`repro.core.sweep.sweep_physical_error` (the degeneracy the
+property tests pin down).
+
+Determinism and resume
+----------------------
+Every point samples from seeds derived as
+``SeedSequence(entropy=spec.seed, spawn_key=(sweep_index, point_index,
+stage))`` — a pure function of the spec, never of execution order — so
+a point's tally does not depend on which other points ran before it.
+Completed points are appended to a :class:`~repro.campaign.store.ResultStore`
+the moment the campaign finalises them; a re-run against the same store
+reuses every record (zero shots sampled) and re-renders the identical
+tables, because rows are a pure function of the stored tallies
+(:func:`~repro.core.sweep.tally_point_fields`).
+
+All sweeps share one :class:`~repro.parallel.pipeline.SharedPool` when
+``workers > 1`` — the campaign spawns worker processes once, and the
+workers keep per-code pipeline state in a fingerprint-keyed cache.
+Results are bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.campaign.spec import CampaignSpec, SweepSpec
+from repro.campaign.store import ResultStore, fingerprint
+from repro.codes import code_by_name
+from repro.core.codesign import codesign_by_name
+from repro.core.memory import MemoryExperiment, effective_rounds
+from repro.core.results import PRECISION_COLUMNS, ResultTable
+from repro.core.stats import PrecisionTarget
+from repro.core.sweep import (
+    AdaptivePoint,
+    run_adaptive_refine,
+    tally_point_fields,
+)
+from repro.parallel.pipeline import SharedPool
+from repro.parallel.sharded import resolve_workers
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+#: Pilot sizing mirrors the single-sweep scheduler: a quarter of the
+#: per-point budget share, clamped to [32, 512].
+_MIN_PILOT_SHOTS = 32
+_MAX_PILOT_SHOTS = 512
+
+
+def _point_seed(seed: int, sweep_index: int, point_index: int,
+                stage: int) -> np.random.SeedSequence:
+    """The seed for one (point, stage): pilot is stage 0, refine round
+    ``r`` is stage ``r + 1``.  A pure function of the spec's seed and
+    the point's position — execution order never enters."""
+    return np.random.SeedSequence(
+        entropy=seed, spawn_key=(sweep_index, point_index, stage))
+
+
+@dataclass
+class _CampaignPoint:
+    """One estimation point, expanded from a sweep spec."""
+
+    sweep_index: int
+    point_index: int
+    sweep: SweepSpec
+    codesign: str
+    physical_error_rate: float
+    round_latency_us: float
+    rounds: int
+    target: PrecisionTarget
+    cap: int
+    pilot: int
+    key: str
+    params: dict
+    tally: list[int] = field(default_factory=lambda: [0, 0])
+    reused: bool = False
+
+    def fields(self) -> dict:
+        return tally_point_fields(self.tally[0], self.tally[1], self.rounds,
+                                  self.target, self.cap)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a campaign run: the tables plus the budget ledger.
+
+    ``shots_sampled`` counts fresh Monte-Carlo work this run performed;
+    ``shots_reused`` counts tallies served by the result store.  Their
+    sum never exceeds ``budget`` (store records count against the
+    budget exactly as they did when first sampled).
+    """
+
+    spec: CampaignSpec
+    tables: list[ResultTable]
+    budget: int
+    points_total: int
+    points_reused: int
+    shots_sampled: int
+    shots_reused: int
+    targets_met: int
+    store_path: str | None = None
+
+    @property
+    def spent(self) -> int:
+        return self.shots_sampled + self.shots_reused
+
+    def summary_table(self) -> ResultTable:
+        """Per-sweep rollup.  Deliberately free of the sampled/reused
+        split (that is this *run's* ledger, see :meth:`stats_dict`), so
+        a resumed campaign saves byte-identical summary files."""
+        table = ResultTable(
+            title=f"Campaign {self.spec.name}: "
+                  f"{self.spent}/{self.budget} shots spent",
+            columns=["sweep", "points", "shots_used", "targets_met"],
+        )
+        for sweep, sweep_table in zip(self.spec.sweeps, self.tables):
+            table.add_row(
+                sweep=sweep.name, points=sweep.num_points,
+                shots_used=sum(sweep_table.column("shots_used")),
+                targets_met=sum(
+                    1 for row in sweep_table.rows
+                    if sweep.target.met(row.get("failures", 0),
+                                        row.get("shots_used", 0))),
+            )
+        return table
+
+    def stats_dict(self) -> dict:
+        """JSON-safe run ledger (what ``repro campaign --summary``
+        writes): budget, sampled-vs-reused shots, resumed points."""
+        return {
+            "campaign": self.spec.name,
+            "budget": self.budget,
+            "spent": self.spent,
+            "shots_sampled": self.shots_sampled,
+            "shots_reused": self.shots_reused,
+            "points_total": self.points_total,
+            "points_reused": self.points_reused,
+            "targets_met": self.targets_met,
+            "store": self.store_path,
+        }
+
+
+def _expand_points(spec: CampaignSpec, budget: int,
+                   campaign_fp: str) -> list[_CampaignPoint]:
+    """Expand the spec into concrete points (latencies compiled here)."""
+    points = []
+    per_point = max(1, budget // max(1, spec.num_points))
+    for sweep_index, sweep in enumerate(spec.sweeps):
+        code = code_by_name(sweep.code)
+        rounds = effective_rounds(code, sweep.rounds)
+        cap = sweep.max_shots if sweep.max_shots is not None else budget
+        cap = max(1, min(int(cap), budget))
+        if sweep.pilot_shots is not None:
+            pilot = max(1, int(sweep.pilot_shots))
+        else:
+            pilot = max(_MIN_PILOT_SHOTS,
+                        min(per_point // 4, _MAX_PILOT_SHOTS))
+        pilot = min(pilot, cap)
+        if sweep.kind == "physical_error":
+            latency = codesign_by_name(sweep.codesign).compile(
+                code).execution_time_us
+            expanded = [(sweep.codesign, p, latency)
+                        for p in sweep.physical_error_rates]
+        else:
+            expanded = [
+                (name, sweep.physical_error_rate,
+                 codesign_by_name(name).compile(code).execution_time_us)
+                for name in sweep.codesigns
+            ]
+        for point_index, (codesign, p, latency) in enumerate(expanded):
+            params = {
+                "campaign": campaign_fp,
+                "sweep": sweep.name,
+                "sweep_index": sweep_index,
+                "point_index": point_index,
+                "code": sweep.code,
+                "codesign": codesign,
+                "method": sweep.method,
+                "basis": sweep.basis,
+                "backend": sweep.backend,
+                "rounds": rounds,
+                "shard_shots": sweep.shard_shots,
+                "max_bp_iterations": sweep.max_bp_iterations,
+                "osd_order": sweep.osd_order,
+                "physical_error_rate": p,
+                "round_latency_us": latency,
+                "target": sweep.target.to_dict(),
+                "cap": cap,
+                "pilot": pilot,
+                "seed": spec.seed,
+            }
+            points.append(_CampaignPoint(
+                sweep_index=sweep_index, point_index=point_index,
+                sweep=sweep, codesign=codesign, physical_error_rate=p,
+                round_latency_us=latency, rounds=rounds,
+                target=sweep.target, cap=cap, pilot=pilot,
+                key=fingerprint(params), params=params,
+            ))
+    return points
+
+
+def _build_tables(spec: CampaignSpec,
+                  points: list[_CampaignPoint]) -> list[ResultTable]:
+    tables = []
+    for sweep_index, sweep in enumerate(spec.sweeps):
+        sweep_points = [point for point in points
+                        if point.sweep_index == sweep_index]
+        if sweep.kind == "physical_error":
+            table = ResultTable(
+                title=f"{spec.name} / {sweep.name}: {sweep.code} "
+                      f"({sweep.codesign})",
+                columns=["p", "round_latency_us", "failures",
+                         "logical_error_rate", "ler_per_round"]
+                + PRECISION_COLUMNS,
+            )
+            for point in sweep_points:
+                table.add_row(p=point.physical_error_rate,
+                              round_latency_us=point.round_latency_us,
+                              **point.fields())
+        else:
+            table = ResultTable(
+                title=f"{spec.name} / {sweep.name}: {sweep.code} "
+                      f"(p={sweep.physical_error_rate:g})",
+                columns=["codesign", "execution_time_us", "p", "failures",
+                         "logical_error_rate", "ler_per_round"]
+                + PRECISION_COLUMNS,
+            )
+            for point in sweep_points:
+                table.add_row(codesign=point.codesign,
+                              execution_time_us=point.round_latency_us,
+                              p=point.physical_error_rate,
+                              **point.fields())
+        tables.append(table)
+    return tables
+
+
+def run_campaign(spec: CampaignSpec,
+                 store: "ResultStore | str | None" = None,
+                 workers: int = 1,
+                 budget: int | None = None) -> CampaignResult:
+    """Run (or resume) a campaign under its global shot budget.
+
+    ``store`` enables resume: a path or :class:`ResultStore` whose
+    records — keyed on the campaign fingerprint plus each point's
+    parameters — are reused instead of re-sampled.  ``workers`` sizes
+    the shared process pool every sweep streams through (``1``:
+    in-process; ``0``: one per core; results bit-identical for any
+    value).  ``budget`` overrides the spec's global budget, e.g. to
+    dry-run ``paper_figures`` at a fraction of the paper's shots (the
+    override participates in the store key: runs at different budgets
+    never cross-contaminate).
+    """
+    spec.validate_names()
+    effective_budget = int(budget) if budget is not None else spec.budget
+    if effective_budget < 1:
+        raise ValueError("budget must be a positive shot count")
+    campaign_fp = spec.fingerprint(budget=effective_budget)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    points = _expand_points(spec, effective_budget, campaign_fp)
+
+    shots_reused = 0
+    for point in points:
+        record = store.get(point.key) if store is not None else None
+        if record is not None:
+            point.tally = [int(record["failures"]), int(record["shots"])]
+            point.reused = True
+            shots_reused += point.tally[1]
+
+    spent = shots_reused
+    shots_sampled = 0
+    fresh = [point for point in points if not point.reused]
+
+    # Interruption safety: flush a fresh point to the store the moment
+    # it can no longer change — target met or per-point cap reached —
+    # so a killed campaign resumes everything already finalised.  The
+    # remaining (budget-exhausted) points are flushed at the end.
+    stored_keys: set[str] = set()
+
+    def flush(point: _CampaignPoint, force: bool = False) -> None:
+        if store is None or point.key in stored_keys:
+            return
+        final = (force or point.tally[1] >= point.cap
+                 or point.target.met(point.tally[0], point.tally[1]))
+        if not final:
+            return
+        store.append({
+            "key": point.key,
+            "campaign": campaign_fp,
+            "spec_name": spec.name,
+            "sweep": point.sweep.name,
+            "params": point.params,
+            "failures": point.tally[0],
+            "shots": point.tally[1],
+        })
+        stored_keys.add(point.key)
+
+    with ExitStack() as stack:
+        pool = None
+        worker_count = resolve_workers(workers)
+        if worker_count > 1 and fresh:
+            pool = stack.enter_context(SharedPool(worker_count))
+        experiments: dict[int, MemoryExperiment] = {}
+
+        def experiment_for(point: _CampaignPoint) -> MemoryExperiment:
+            experiment = experiments.get(point.sweep_index)
+            if experiment is None:
+                sweep = point.sweep
+                experiment = stack.enter_context(MemoryExperiment(
+                    code=code_by_name(sweep.code), rounds=sweep.rounds,
+                    basis=sweep.basis, method=sweep.method,
+                    max_bp_iterations=sweep.max_bp_iterations,
+                    osd_order=sweep.osd_order, seed=spec.seed,
+                    backend=sweep.backend, workers=worker_count,
+                    shard_shots=sweep.shard_shots, pool=pool,
+                ))
+                experiments[point.sweep_index] = experiment
+            return experiment
+
+        def sample(point: _CampaignPoint, allocation: int,
+                   prior: tuple[int, int], stage: int) -> tuple[int, int]:
+            result = experiment_for(point).run(
+                point.physical_error_rate, point.round_latency_us,
+                shots=allocation, target_precision=point.target,
+                prior_tally=prior,
+                seed=_point_seed(spec.seed, point.sweep_index,
+                                 point.point_index, stage),
+            )
+            return result.failures, result.shots
+
+        # Pilot: a streamed taste of every fresh point, in spec order.
+        for point in fresh:
+            allocation = min(point.pilot, point.cap,
+                             max(0, effective_budget - spent))
+            if allocation > 0:
+                failures, used = sample(point, allocation, (0, 0), stage=0)
+                point.tally[0] += failures
+                point.tally[1] += used
+                spent += used
+                shots_sampled += used
+            flush(point)
+
+        # Allocate / refine the global pool across every fresh point of
+        # every sweep — the single-sweep engine, one level up.
+        adaptive = [
+            AdaptivePoint(
+                target=point.target, cap=point.cap,
+                runner=(lambda allocation, prior, round_index, *,
+                        _point=point: sample(_point, allocation, prior,
+                                             stage=round_index + 1)),
+                tally=point.tally,
+            )
+            for point in fresh
+        ]
+
+        def flush_round(round_index: int) -> None:
+            del round_index
+            for point in fresh:
+                flush(point)
+
+        spent_after = run_adaptive_refine(adaptive, effective_budget, spent,
+                                          after_round=flush_round)
+        shots_sampled += spent_after - spent
+
+        # Whatever is left stopped because the global budget ran out —
+        # final for this campaign, so it is stored too.
+        for point in fresh:
+            flush(point, force=True)
+
+    targets_met = sum(
+        1 for point in points if point.target.met(point.tally[0],
+                                                  point.tally[1]))
+    return CampaignResult(
+        spec=spec,
+        tables=_build_tables(spec, points),
+        budget=effective_budget,
+        points_total=len(points),
+        points_reused=len(points) - len(fresh),
+        shots_sampled=shots_sampled,
+        shots_reused=shots_reused,
+        targets_met=targets_met,
+        store_path=str(store.path) if store is not None else None,
+    )

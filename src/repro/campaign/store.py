@@ -1,0 +1,119 @@
+"""Resumable on-disk result store for campaign runs.
+
+A campaign spends real compute per point, so an interrupted or re-run
+campaign must not re-sample what it already estimated.  The store is a
+JSON-lines file: one self-describing record per *completed* point,
+appended (and flushed) the moment the point finalises, keyed by a
+content fingerprint of everything that determines the point's tally —
+the campaign spec (budget included), the point's position, its
+code/noise/decoder/precision parameters and its seed material.  Two
+consequences:
+
+* **Resume is bit-identical.**  A record's tally is re-rendered into
+  table rows through the same pure function a cold run uses
+  (:func:`repro.core.sweep.tally_point_fields`), so a fully resumed
+  campaign reproduces the cold run's tables exactly — with zero shots
+  sampled.
+* **Stale records are inert.**  Any change to the spec changes the
+  campaign fingerprint embedded in every key, so old records simply
+  stop matching; the file is append-only and never rewritten.
+
+The format is deliberately tolerant of interruption: a truncated final
+line (the process died mid-append) is skipped on load and counted in
+:attr:`ResultStore.skipped_lines`, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["ResultStore", "fingerprint"]
+
+#: Bump when the record layout changes incompatibly; loads ignore
+#: records from other versions (they re-run rather than misread).
+STORE_VERSION = 1
+
+
+def fingerprint(payload: dict) -> str:
+    """Stable content fingerprint of a JSON-serialisable payload.
+
+    Canonical JSON (sorted keys, tight separators) through sha256 —
+    the same dict always fingerprints identically across processes and
+    sessions, and any changed value changes the digest.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultStore:
+    """Append-only JSON-lines store of finalised campaign points.
+
+    Records are dicts with at least ``key`` (the point fingerprint),
+    ``failures`` and ``shots``; the campaign also records the point's
+    parameters for human inspection.  ``get``/``__contains__`` address
+    the *last* record per key, so a re-run that legitimately recomputes
+    a point supersedes the old record without rewriting the file.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self.skipped_lines = 0
+        self._records: dict[str, dict] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        self._records.clear()
+        self.skipped_lines = 0
+        if not self.path.exists():
+            return
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Interrupted append: the tail line never finished.
+                self.skipped_lines += 1
+                continue
+            if (not isinstance(record, dict) or "key" not in record
+                    or record.get("version") != STORE_VERSION):
+                self.skipped_lines += 1
+                continue
+            self._records[record["key"]] = record
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The last record stored under ``key``, or ``None``."""
+        return self._records.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[dict]:
+        """All live records (last per key), in insertion order."""
+        return list(self._records.values())
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Persist one finalised point (flushed before returning).
+
+        The record is stamped with the store version; ``key`` is
+        required.  Appending never rewrites existing lines, so a crash
+        mid-append costs at most the one record being written.
+        """
+        if "key" not in record:
+            raise ValueError("a store record needs a 'key'")
+        record = dict(record, version=STORE_VERSION)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+        self._records[record["key"]] = record

@@ -10,6 +10,10 @@ Subcommands mirror the library's main entry points:
 ``memory``
     Run a hardware-aware memory experiment (codesign latency -> noise ->
     BP+OSD decoding -> logical error rate) over a physical-error sweep.
+``campaign``
+    Run a whole campaign of sweeps — a builtin spec such as
+    ``paper_figures`` or a JSON spec file — against one global shot
+    budget and one worker pool, with a resumable result store.
 ``speedup``
     Print the Figure 3 parallel-vs-serial speedup table.
 
@@ -25,16 +29,22 @@ Examples
     python -m repro memory "BB [[72,12,6]]" --shots 20000 \
         --physical-error-rates 1e-4 3e-4 1e-3 3e-3 \
         --target-precision 0.002      # adaptive: stop each point early
+    python -m repro campaign paper_figures --store figures.jsonl --workers 0
+    python -m repro campaign paper_figures --store figures.jsonl \
+        --assert-no-sampling          # resumed: must re-sample nothing
     python -m repro speedup
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.analysis import speedup_table
+from repro.campaign import available_specs, load_spec, run_campaign
 from repro.codes import available_codes, code_by_name
 from repro.core import (
     PrecisionTarget,
@@ -128,6 +138,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     memory_parser.add_argument("--output", default=None)
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run a cross-sweep campaign under one global shot budget",
+    )
+    campaign_parser.add_argument(
+        "spec", nargs="?", default=None,
+        help="builtin spec name (see --list-specs) or path to a JSON "
+             "campaign spec",
+    )
+    campaign_parser.add_argument(
+        "--list-specs", action="store_true",
+        help="list the builtin campaign specs and exit",
+    )
+    campaign_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="JSON-lines result store: completed points are appended "
+             "here and resumed (never re-sampled) on the next run "
+             "against the same spec and budget",
+    )
+    campaign_parser.add_argument(
+        "--budget", type=int, default=None,
+        help="override the spec's global shot budget (participates in "
+             "the store key: runs at different budgets never mix)",
+    )
+    campaign_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes shared by every sweep of the campaign "
+             "(1: in-process, default; 0: one per core; results are "
+             "bit-identical for any value)",
+    )
+    campaign_parser.add_argument(
+        "--output", default=None, metavar="DIR",
+        help="write each sweep's table (and summary.json) into this "
+             "directory as JSON",
+    )
+    campaign_parser.add_argument(
+        "--summary", default=None, metavar="PATH",
+        help="write the run's JSON ledger (budget, shots sampled vs "
+             "reused, points resumed, targets met) to this file",
+    )
+    campaign_parser.add_argument(
+        "--assert-no-sampling", action="store_true",
+        help="exit 3 if the run sampled any shots (CI resume check: a "
+             "second run against a complete store must reuse every "
+             "point)",
+    )
+
     speedup_parser = subparsers.add_parser(
         "speedup", help="parallel vs serial schedule speedups (Figure 3)"
     )
@@ -203,6 +260,56 @@ def _cmd_memory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.list_specs:
+        for name in available_specs():
+            print(name)
+        return 0
+    if args.spec is None:
+        print("a spec name or path is required (or --list-specs)",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = load_spec(args.spec)
+    except (FileNotFoundError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        result = run_campaign(spec, store=args.store, workers=args.workers,
+                              budget=args.budget)
+    except ValueError as error:
+        # Spec-level problems surfaced by the orchestrator (unknown
+        # code/codesign names, non-positive budget override, ...) are
+        # usage errors, not crashes.
+        print(str(error), file=sys.stderr)
+        return 2
+    for table in result.tables:
+        print(table.to_text())
+        print()
+    print(result.summary_table().to_text())
+    print(f"this run: {result.shots_sampled} shots sampled, "
+          f"{result.shots_reused} reused from the store, "
+          f"{result.points_reused}/{result.points_total} points resumed")
+    if args.output:
+        output_dir = Path(args.output)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        for sweep, table in zip(spec.sweeps, result.tables):
+            table.save(output_dir / f"{sweep.name}.json")
+        summary = result.summary_table()
+        summary.save(output_dir / "summary.json")
+        print(f"\nSaved {len(result.tables)} sweep tables + summary "
+              f"to {output_dir}")
+    if args.summary:
+        Path(args.summary).write_text(
+            json.dumps(result.stats_dict(), indent=2) + "\n")
+        print(f"Wrote run ledger to {args.summary}")
+    if args.assert_no_sampling and result.shots_sampled > 0:
+        print(f"expected a fully resumed run but {result.shots_sampled} "
+              "shots were sampled", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _cmd_speedup(args: argparse.Namespace) -> int:
     table = speedup_table(args.codes)
     _emit(table, args.output)
@@ -219,6 +326,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compile(args)
     if args.command == "memory":
         return _cmd_memory(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "speedup":
         return _cmd_speedup(args)
     parser.error(f"unknown command {args.command!r}")

@@ -18,6 +18,7 @@ from repro.core.codesign import Codesign, codesign_by_name, available_codesigns
 from repro.core.memory import (
     MemoryExperiment,
     MemoryResult,
+    effective_rounds,
     logical_error_rate,
 )
 from repro.core.spacetime import spacetime_cost, spacetime_comparison
@@ -28,17 +29,24 @@ from repro.core.stats import (
     wilson_interval,
 )
 from repro.core.sweep import (
+    AdaptivePoint,
     allocate_shots,
+    run_adaptive_refine,
     sweep_architectures,
     sweep_physical_error,
+    tally_point_fields,
 )
 from repro.core.results import ResultTable
 
 __all__ = [
+    "AdaptivePoint",
     "PrecisionTarget",
     "allocate_shots",
     "as_precision_target",
     "binomial_interval",
+    "effective_rounds",
+    "run_adaptive_refine",
+    "tally_point_fields",
     "wilson_interval",
     "Codesign",
     "codesign_by_name",

@@ -43,11 +43,27 @@ from repro.core.phenomenological import (
 )
 from repro.core.stats import PrecisionTarget, as_precision_target
 from repro.noise.hardware import HardwareNoiseModel
-from repro.parallel.pipeline import ExperimentHandle, ShardedExperiment
+from repro.parallel.pipeline import ExperimentHandle, SharedPool, ShardedExperiment
 from repro.parallel.sharded import DecoderHandle, resolve_workers
 from repro.sim.dem import DemStructureCache
 
-__all__ = ["MemoryExperiment", "MemoryResult", "logical_error_rate"]
+__all__ = ["MemoryExperiment", "MemoryResult", "effective_rounds",
+           "logical_error_rate"]
+
+
+def effective_rounds(code: CSSCode, rounds: int | None = None) -> int:
+    """The syndrome-extraction round count a ``rounds=`` knob resolves to.
+
+    ``None`` defaults to the code distance, capped at 8 to keep the
+    Monte-Carlo loop tractable — the exact rule
+    :class:`MemoryExperiment` applies, exposed so callers that derive
+    per-round quantities from stored tallies (the campaign result
+    store) agree with it without building an experiment.
+    """
+    if rounds is not None:
+        return int(rounds)
+    distance = code.distance or 3
+    return max(1, min(distance, 8))
 
 
 @dataclass
@@ -163,7 +179,17 @@ class MemoryExperiment:
         Root seed.  Every call to :meth:`run` derives an independent
         child seed via ``numpy.random.SeedSequence.spawn`` (so sweep
         points are sampled with decorrelated noise realisations), and
-        that child roots the run's per-shard seed tree.
+        that child roots the run's per-shard seed tree.  A caller that
+        needs order-independent sampling — the campaign orchestrator,
+        whose resumable store must reproduce a point no matter which
+        other points were skipped — passes an explicit ``seed=`` to
+        :meth:`run` instead.
+    pool:
+        Optional :class:`~repro.parallel.pipeline.SharedPool` to run
+        the pipeline on — one process pool shared across several
+        experiments (a campaign's sweeps).  Overrides ``workers`` with
+        the pool's worker count; the pool is owned by the caller and
+        survives :meth:`close`.
     """
 
     code: CSSCode
@@ -177,16 +203,18 @@ class MemoryExperiment:
     backend: str = "packed"
     workers: int = 1
     shard_shots: int | None = None
+    pool: SharedPool | None = None
 
     def __post_init__(self) -> None:
         if self.method not in ("phenomenological", "circuit"):
             raise ValueError("method must be 'phenomenological' or 'circuit'")
         if self.backend not in ("packed", "bool"):
             raise ValueError("backend must be 'packed' or 'bool'")
-        self.workers = resolve_workers(self.workers)
-        if self.rounds is None:
-            distance = self.code.distance or 3
-            self.rounds = max(1, min(distance, 8))
+        if self.pool is not None:
+            self.workers = self.pool.workers
+        else:
+            self.workers = resolve_workers(self.workers)
+        self.rounds = effective_rounds(self.code, self.rounds)
         self._seed_sequence = np.random.SeedSequence(self.seed)
         # Sweep caches: the space-time structure (phenomenological), the
         # DEM fault signatures (circuit) and the pipeline (decoder graph
@@ -219,7 +247,9 @@ class MemoryExperiment:
             shots: int = 200, workers: int | None = None,
             target_precision: "float | PrecisionTarget | None" = None,
             max_shots: int | None = None,
-            prior_tally: tuple[int, int] = (0, 0)) -> MemoryResult:
+            prior_tally: tuple[int, int] = (0, 0),
+            seed: "int | np.random.SeedSequence | None" = None
+            ) -> MemoryResult:
         """Estimate the logical error rate at one operating point.
 
         ``workers`` overrides the experiment-level default for this call
@@ -236,19 +266,47 @@ class MemoryExperiment:
         budget cap.  ``prior_tally`` carries ``(failures, shots)`` from
         earlier runs of this operating point into the stop rule (the
         adaptive sweep's pilot pass).
+
+        ``seed`` overrides the experiment's sequentially spawned
+        per-run seed with an explicit root for this run's shard tree —
+        callers that must sample a point identically regardless of how
+        many runs preceded it (the campaign's resumable store) use
+        this; when omitted the experiment spawns the next child of its
+        own root seed exactly as before.
+
+        On an experiment bound to a :class:`SharedPool` the worker
+        count is the pool's — a conflicting per-call ``workers=`` is
+        rejected rather than silently ignored.
         """
-        workers = self.workers if workers is None else resolve_workers(workers)
+        if self.pool is not None:
+            if (workers is not None
+                    and resolve_workers(workers) != self.pool.workers):
+                raise ValueError(
+                    "this experiment streams through a SharedPool of "
+                    f"{self.pool.workers} workers; the per-call workers= "
+                    "override cannot change that — build a pool-free "
+                    "MemoryExperiment for a different worker count")
+            workers = self.pool.workers
+        else:
+            workers = (self.workers if workers is None
+                       else resolve_workers(workers))
         budget = int(max_shots) if max_shots is not None else int(shots)
         target = as_precision_target(target_precision)
+        if seed is None:
+            run_seed = self._spawn_seed()
+        elif isinstance(seed, np.random.SeedSequence):
+            run_seed = seed
+        else:
+            run_seed = np.random.SeedSequence(int(seed))
         noise = HardwareNoiseModel.from_physical_error_rate(
             physical_error_rate, round_latency_us=round_latency_us
         )
         if self.method == "phenomenological":
             outcome, extra = self._run_phenomenological(
-                noise, budget, workers, target, prior_tally)
+                noise, budget, workers, target, prior_tally, run_seed)
         else:
             outcome, extra = self._run_circuit(
-                noise, budget, workers, target, prior_tally)
+                noise, budget, workers, target, prior_tally, run_seed)
         if target is not None:
             extra["target_met"] = outcome.target_met
         return MemoryResult(
@@ -297,14 +355,16 @@ class MemoryExperiment:
                 method=self.method,
             )
             self._pipeline = ShardedExperiment(
-                handle, workers=workers, shard_shots=self.shard_shots
+                handle, workers=workers, shard_shots=self.shard_shots,
+                pool=self.pool,
             )
         return self._pipeline
 
     def _run_phenomenological(self, noise: HardwareNoiseModel, shots: int,
                               workers: int,
                               target: PrecisionTarget | None,
-                              prior_tally: tuple[int, int]) -> tuple:
+                              prior_tally: tuple[int, int],
+                              run_seed: np.random.SeedSequence) -> tuple:
         if self._structure is None:
             self._structure = build_spacetime_structure(
                 self.code, rounds=self.rounds, basis=self.basis
@@ -317,7 +377,7 @@ class MemoryExperiment:
             model.check_matrix, model.observable_matrix, model.priors,
             workers,
         )
-        outcome = pipeline.run(shots, self._spawn_seed(),
+        outcome = pipeline.run(shots, run_seed,
                                priors=model.priors,
                                target_precision=target,
                                prior_tally=prior_tally)
@@ -331,7 +391,8 @@ class MemoryExperiment:
 
     def _run_circuit(self, noise: HardwareNoiseModel, shots: int,
                      workers: int, target: PrecisionTarget | None,
-                     prior_tally: tuple[int, int]) -> tuple:
+                     prior_tally: tuple[int, int],
+                     run_seed: np.random.SeedSequence) -> tuple:
         circuit = memory_experiment_circuit(
             self.code, noise, schedule=self.schedule, rounds=self.rounds,
             basis=self.basis,
@@ -347,7 +408,7 @@ class MemoryExperiment:
         pipeline = self._pipeline_for(
             dem.check_matrix, dem.observable_matrix, dem.priors, workers
         )
-        outcome = pipeline.run(shots, self._spawn_seed(), priors=dem.priors,
+        outcome = pipeline.run(shots, run_seed, priors=dem.priors,
                                circuit=circuit, target_precision=target,
                                prior_tally=prior_tally)
         return outcome, {

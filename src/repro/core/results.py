@@ -109,6 +109,25 @@ class ResultTable:
             indent=2, default=str,
         )
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResultTable":
+        """Rebuild a table from its :meth:`to_json` document structure.
+
+        Rows are validated against the column list the same way
+        :meth:`add_row` validates them, so a stored table round-trips
+        exactly (the campaign result store relies on this).
+        """
+        table = cls(title=str(payload.get("title", "")),
+                    columns=list(payload.get("columns", [])))
+        for row in payload.get("rows", []):
+            table.add_row(**row)
+        return table
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
     def save(self, path: str | Path) -> Path:
         """Write the table to ``path``; format chosen by suffix.
 

@@ -173,6 +173,32 @@ class PrecisionTarget:
             return half_width <= self.half_width * (failures / shots)
         return half_width <= self.half_width
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation (campaign specs and result stores)."""
+        return {
+            "half_width": self.half_width,
+            "relative": self.relative,
+            "confidence": self.confidence,
+            "min_shots": self.min_shots,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PrecisionTarget":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        unknown = set(payload) - {"half_width", "relative", "confidence",
+                                  "min_shots"}
+        if unknown:
+            raise ValueError(f"unknown PrecisionTarget keys {sorted(unknown)}")
+        if "half_width" not in payload:
+            raise ValueError("PrecisionTarget needs a half_width")
+        return cls(
+            half_width=float(payload["half_width"]),
+            relative=bool(payload.get("relative", False)),
+            confidence=float(payload.get("confidence", 0.95)),
+            min_shots=int(payload.get("min_shots", 0)),
+        )
+
 
 def as_precision_target(spec: "float | PrecisionTarget | None",
                         confidence: float = 0.95

@@ -35,7 +35,8 @@ are bit-identical for any ``workers=`` at fixed ``shard_shots`` /
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
 
 from repro.codes.css import CSSCode
 from repro.core.codesign import Codesign
@@ -44,7 +45,14 @@ from repro.core.results import PRECISION_COLUMNS, ResultTable, precision_fields
 from repro.core.spacetime import spacetime_cost
 from repro.core.stats import PrecisionTarget, as_precision_target, binomial_interval
 
-__all__ = ["sweep_physical_error", "sweep_architectures", "allocate_shots"]
+__all__ = [
+    "AdaptivePoint",
+    "allocate_shots",
+    "run_adaptive_refine",
+    "sweep_architectures",
+    "sweep_physical_error",
+    "tally_point_fields",
+]
 
 #: Hard ceiling on refine rounds — each round spends real budget, so
 #: this only guards against a pathological no-progress loop.
@@ -60,7 +68,8 @@ def _estimated_rate(failures: int, shots: int) -> float:
 
 
 def allocate_shots(tallies: Sequence[tuple[int, int]], budget: int,
-                   caps: Sequence[int], relative: bool = False) -> list[int]:
+                   caps: Sequence[int],
+                   relative: "bool | Sequence[bool]" = False) -> list[int]:
     """Split ``budget`` shots across points proportional to variance.
 
     ``tallies`` holds each point's observed ``(failures, shots)``;
@@ -68,16 +77,27 @@ def allocate_shots(tallies: Sequence[tuple[int, int]], budget: int,
     the estimated per-shot variance of what the target constrains: the
     absolute estimate's variance ``p(1-p)`` by default, or the relative
     estimate's ``(1-p)/p`` for relative targets (low-rate points need
-    the extra shots there).  Rates are Laplace-smoothed so zero-failure
-    pilots still produce usable weights.  Pure integer arithmetic on
-    the inputs — allocation is part of the determinism contract.
+    the extra shots there).  ``relative`` may be one flag for the whole
+    sweep or one flag per point — the campaign orchestrator pools
+    points whose sweeps target different width kinds, and a uniform
+    flag sequence allocates identically to the scalar (the single-sweep
+    degeneracy the property tests pin down).  Rates are
+    Laplace-smoothed so zero-failure pilots still produce usable
+    weights.  Pure arithmetic on the inputs — allocation is part of
+    the determinism contract.
     """
+    if isinstance(relative, bool):
+        flags: Sequence[bool] = [relative] * len(tallies)
+    else:
+        flags = list(relative)
+        if len(flags) != len(tallies):
+            raise ValueError("one relative flag per tally required")
     if budget <= 0 or not tallies:
         return [0] * len(tallies)
     weights = []
-    for failures, shots in tallies:
+    for (failures, shots), point_relative in zip(tallies, flags):
         p = _estimated_rate(failures, shots)
-        weights.append((1.0 - p) / p if relative else p * (1.0 - p))
+        weights.append((1.0 - p) / p if point_relative else p * (1.0 - p))
     total = sum(weights)
     if total <= 0.0:
         weights = [1.0] * len(tallies)
@@ -87,6 +107,85 @@ def allocate_shots(tallies: Sequence[tuple[int, int]], budget: int,
         share = int(budget * weight / total)
         allocations.append(max(0, min(cap, share)))
     return allocations
+
+
+@dataclass
+class AdaptivePoint:
+    """One estimation point of an adaptive allocate/refine run.
+
+    ``runner(shots, prior_tally, round_index)`` spends up to ``shots``
+    on the point (with the accumulated tally carried into the stop
+    rule) and returns the ``(failures, shots)`` it actually used;
+    ``cap`` bounds the point's total spend and ``tally`` accumulates
+    across rounds.  :func:`run_adaptive_refine` drives a pool of these
+    — the same engine serves one sweep's points
+    (:func:`sweep_physical_error`) and a whole campaign's
+    (:mod:`repro.campaign`).
+    """
+
+    target: PrecisionTarget
+    cap: int
+    runner: Callable[[int, tuple[int, int], int], tuple[int, int]]
+    tally: list[int] = field(default_factory=lambda: [0, 0])
+
+    @property
+    def met(self) -> bool:
+        return self.target.met(self.tally[0], self.tally[1])
+
+    @property
+    def exhausted(self) -> bool:
+        return self.tally[1] >= self.cap
+
+
+def run_adaptive_refine(points: Sequence[AdaptivePoint], global_budget: int,
+                        spent: int = 0,
+                        after_round: Callable[[int], None] | None = None
+                        ) -> int:
+    """Allocate / refine until every point is tight or the budget is gone.
+
+    Each round re-allocates the remaining ``global_budget - spent``
+    across the unmet points by estimated variance
+    (:func:`allocate_shots`), floors starved points at
+    ``_MIN_REFINE_SHOTS`` for forward progress, and runs them in point
+    order — a deterministic function of the accumulated tallies, which
+    is what lets a campaign re-run reproduce a sweep bit for bit.
+    Returns the total spend (the ``spent`` argument plus every shot the
+    refine rounds used).
+
+    ``after_round(round_index)`` is invoked after each completed round
+    — the campaign uses it to flush freshly finalised points to its
+    result store, so an interrupted run keeps everything already tight.
+    """
+    for round_index in range(_MAX_REFINE_ROUNDS):
+        unmet = [index for index, point in enumerate(points)
+                 if not point.exhausted and not point.met]
+        remaining = global_budget - spent
+        if not unmet or remaining <= 0:
+            break
+        allocations = allocate_shots(
+            [tuple(points[i].tally) for i in unmet], remaining,
+            [points[i].cap - points[i].tally[1] for i in unmet],
+            relative=[points[i].target.relative for i in unmet],
+        )
+        progressed = False
+        for index, allocation in zip(unmet, allocations):
+            point = points[index]
+            point_cap = point.cap - point.tally[1]
+            allocation = min(point_cap, max(allocation, _MIN_REFINE_SHOTS),
+                             max(0, global_budget - spent))
+            if allocation <= 0:
+                continue
+            failures, used = point.runner(allocation, tuple(point.tally),
+                                          round_index)
+            point.tally[0] += failures
+            point.tally[1] += used
+            spent += used
+            progressed = progressed or used > 0
+        if after_round is not None:
+            after_round(round_index)
+        if not progressed:
+            break
+    return spent
 
 
 def _fixed_point_fields(result) -> dict:
@@ -99,9 +198,13 @@ def _fixed_point_fields(result) -> dict:
     return fields
 
 
-def _combined_point_fields(failures: int, shots: int, rounds: int,
-                           target: PrecisionTarget, cap: int) -> dict:
-    """Row fragment for a pilot+refine tally (mirrors ``MemoryResult``)."""
+def tally_point_fields(failures: int, shots: int, rounds: int,
+                       target: PrecisionTarget, cap: int) -> dict:
+    """Row fragment for a pilot+refine tally (mirrors ``MemoryResult``).
+
+    A pure function of the accumulated tally — the campaign result
+    store re-derives rows from stored tallies through exactly this
+    function, which is what makes resumed tables bit-identical."""
     ler = failures / shots if shots else 0.0
     if shots == 0 or ler >= 1.0:
         per_round = ler
@@ -149,52 +252,34 @@ def _run_points(experiment: MemoryExperiment,
         pilot = max(1, int(pilot_shots))
     pilot = min(pilot, cap)
 
+    def runner_for(p: float, latency: float):
+        def runner(allocation: int, prior: tuple[int, int],
+                   round_index: int) -> tuple[int, int]:
+            del round_index  # seeds spawn sequentially off the experiment
+            result = experiment.run(p, latency, shots=allocation,
+                                    target_precision=target,
+                                    prior_tally=prior)
+            return result.failures, result.shots
+        return runner
+
     # Pilot: a streamed taste of every point (cheap points may already
     # meet the target and never see a refine run).
-    tallies: list[list[int]] = []
+    adaptive_points = []
     for p, latency in points:
         result = experiment.run(p, latency, shots=pilot,
                                 target_precision=target)
-        tallies.append([result.failures, result.shots])
-    spent = sum(shots_used for _, shots_used in tallies)
+        adaptive_points.append(AdaptivePoint(
+            target=target, cap=cap, runner=runner_for(p, latency),
+            tally=[result.failures, result.shots],
+        ))
+    spent = sum(point.tally[1] for point in adaptive_points)
 
-    # Allocate / refine until every point is tight or the budget is gone.
-    for _ in range(_MAX_REFINE_ROUNDS):
-        unmet = [
-            index for index, (failures, used) in enumerate(tallies)
-            if used < cap and not target.met(failures, used)
-        ]
-        remaining = global_budget - spent
-        if not unmet or remaining <= 0:
-            break
-        allocations = allocate_shots(
-            [tuple(tallies[i]) for i in unmet], remaining,
-            [cap - tallies[i][1] for i in unmet], relative=target.relative,
-        )
-        # Guarantee forward progress: a starved point still gets a
-        # minimum shard's worth (within its cap and the budget).
-        progressed = False
-        for index, allocation in zip(unmet, allocations):
-            point_cap = cap - tallies[index][1]
-            allocation = min(point_cap, max(allocation, _MIN_REFINE_SHOTS),
-                             max(0, global_budget - spent))
-            if allocation <= 0:
-                continue
-            p, latency = points[index]
-            result = experiment.run(
-                p, latency, shots=allocation, target_precision=target,
-                prior_tally=tuple(tallies[index]),
-            )
-            tallies[index][0] += result.failures
-            tallies[index][1] += result.shots
-            spent += result.shots
-            progressed = progressed or result.shots > 0
-        if not progressed:
-            break
+    run_adaptive_refine(adaptive_points, global_budget, spent)
 
     return [
-        _combined_point_fields(failures, used, experiment.rounds, target, cap)
-        for failures, used in tallies
+        tally_point_fields(point.tally[0], point.tally[1],
+                           experiment.rounds, target, cap)
+        for point in adaptive_points
     ]
 
 

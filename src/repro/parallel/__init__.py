@@ -20,8 +20,10 @@ the designs and `docs/performance.md` for the measured scaling.
 from repro.parallel.pipeline import (
     ExperimentHandle,
     PipelineResult,
+    SharedPool,
     ShardedExperiment,
     circuit_fingerprint,
+    handle_fingerprint,
     shard_layout,
     shard_seed_tree,
 )
@@ -35,9 +37,11 @@ __all__ = [
     "DecoderHandle",
     "ExperimentHandle",
     "PipelineResult",
+    "SharedPool",
     "ShardedDecoder",
     "ShardedExperiment",
     "circuit_fingerprint",
+    "handle_fingerprint",
     "resolve_workers",
     "shard_layout",
     "shard_seed_tree",

@@ -76,6 +76,15 @@ Design
   ``DemStructureCache`` / space-time structure across points and hands
   the pipeline the *same* check-matrix object each time, so the handle
   (and the workers' decoder structure) is built exactly once per sweep.
+* A :class:`SharedPool` lets *several* experiments — a campaign's
+  sweeps over different codes — stream through **one** process pool.
+  Workers keep a small LRU of pipeline states keyed on a content
+  fingerprint of the handle (:func:`handle_fingerprint`); the parent
+  ships each experiment's handle with its first ``workers`` tasks and
+  later tasks carry the key alone, with the same miss-retry fallback
+  as the circuit cache.  Shard seeds, sizes and fold order are
+  untouched, so pooled runs stay bit-identical to dedicated-pool and
+  in-process runs.
 """
 
 from __future__ import annotations
@@ -96,9 +105,11 @@ from repro.sim.frame import sample_circuit_shard
 
 __all__ = [
     "ExperimentHandle",
+    "SharedPool",
     "ShardedExperiment",
     "PipelineResult",
     "circuit_fingerprint",
+    "handle_fingerprint",
     "shard_layout",
     "shard_seed_tree",
 ]
@@ -157,6 +168,29 @@ def circuit_fingerprint(circuit: Circuit) -> str:
         hasher.update(
             repr((ins.name, ins.targets, ins.argument, ins.arguments)).encode()
         )
+    return hasher.hexdigest()
+
+
+def handle_fingerprint(handle: "ExperimentHandle") -> str:
+    """Content key for the shared-pool worker-side state cache.
+
+    Digests the pipeline *structure* — check/observable matrices,
+    decoder knobs, backend and sampling method — but not the priors,
+    which every shard task re-ships anyway (sweep points share one
+    structure and differ only in priors).  Stable across processes
+    (sha1 of the bytes, not ``hash()``), so parent and workers agree
+    on which cached state a task addresses.
+    """
+    decoder = handle.decoder
+    hasher = hashlib.sha1()
+    hasher.update(repr((
+        handle.method, decoder.backend, decoder.max_iterations,
+        decoder.osd_order, decoder.scaling_factor, decoder.block_shots,
+        decoder.factor_cache_size, decoder.check_matrix.shape,
+        handle.observable_matrix.shape,
+    )).encode())
+    hasher.update(np.ascontiguousarray(decoder.check_matrix).tobytes())
+    hasher.update(np.ascontiguousarray(handle.observable_matrix).tobytes())
     return hasher.hexdigest()
 
 
@@ -331,6 +365,12 @@ class _CircuitCacheMiss(RuntimeError):
     """
 
 
+class _HandleCacheMiss(RuntimeError):
+    """Raised by a shared-pool worker whose state cache lacks the task's
+    handle key.  Same protocol as :class:`_CircuitCacheMiss`: the parent
+    resubmits the identical shard with the handle payload attached."""
+
+
 #: How many circuits a worker retains (sweeps revisit at most a couple
 #: of operating points at a time; each circuit is a few KB).
 _WORKER_CIRCUIT_CAPACITY = 4
@@ -352,6 +392,29 @@ def _init_pipeline_worker(handle: ExperimentHandle) -> None:
     _WORKER_CIRCUITS.clear()
 
 
+def _resolve_worker_circuit(circuit: Circuit | None,
+                            circuit_key: str | None) -> Circuit | None:
+    """Cache-or-resolve a task's circuit inside the worker.
+
+    A payload task stores the circuit under its key (LRU-bounded); a
+    key-only task resolves it from the cache or raises
+    :class:`_CircuitCacheMiss` for the parent to retry with payload.
+    """
+    if circuit_key is None:
+        return circuit
+    if circuit is not None:
+        _WORKER_CIRCUITS[circuit_key] = circuit
+        _WORKER_CIRCUITS.move_to_end(circuit_key)
+        while len(_WORKER_CIRCUITS) > _WORKER_CIRCUIT_CAPACITY:
+            _WORKER_CIRCUITS.popitem(last=False)
+        return circuit
+    circuit = _WORKER_CIRCUITS.get(circuit_key)
+    if circuit is None:
+        raise _CircuitCacheMiss(circuit_key)
+    _WORKER_CIRCUITS.move_to_end(circuit_key)
+    return circuit
+
+
 def _run_pipeline_shard(priors: np.ndarray, circuit: Circuit | None,
                         circuit_key: str | None,
                         seed: np.random.SeedSequence, shots: int,
@@ -369,19 +432,101 @@ def _run_pipeline_shard(priors: np.ndarray, circuit: Circuit | None,
         raise RuntimeError("worker pool was not initialised with a handle")
     if _WORKER_STATE is None:
         _WORKER_STATE = _WORKER_HANDLE.build_state()
-    if circuit_key is not None:
-        if circuit is not None:
-            _WORKER_CIRCUITS[circuit_key] = circuit
-            _WORKER_CIRCUITS.move_to_end(circuit_key)
-            while len(_WORKER_CIRCUITS) > _WORKER_CIRCUIT_CAPACITY:
-                _WORKER_CIRCUITS.popitem(last=False)
-        else:
-            circuit = _WORKER_CIRCUITS.get(circuit_key)
-            if circuit is None:
-                raise _CircuitCacheMiss(circuit_key)
-            _WORKER_CIRCUITS.move_to_end(circuit_key)
+    circuit = _resolve_worker_circuit(circuit, circuit_key)
     return _WORKER_STATE.run_shard(priors, circuit, seed, shots,
                                    collect_errors)
+
+
+#: How many pipeline states a shared-pool worker retains.  A campaign
+#: typically cycles through a handful of codes; states for evicted
+#: handles are rebuilt on demand (cost: one decoder construction).
+_SHARED_STATE_CAPACITY = 8
+
+#: Shared-pool worker cache: handle fingerprint -> built pipeline state.
+_SHARED_STATES: "OrderedDict[str, _PipelineState]" = OrderedDict()
+
+
+def _init_shared_worker() -> None:
+    _SHARED_STATES.clear()
+    _WORKER_CIRCUITS.clear()
+
+
+def _run_shared_shard(handle: ExperimentHandle | None, handle_key: str,
+                      priors: np.ndarray, circuit: Circuit | None,
+                      circuit_key: str | None,
+                      seed: np.random.SeedSequence, shots: int,
+                      collect_errors: bool
+                      ) -> tuple[int, np.ndarray, np.ndarray | None]:
+    """Shared-pool variant of :func:`_run_pipeline_shard`.
+
+    The pipeline state is addressed by ``handle_key``; ``handle`` is
+    the optional payload that populates the cache (shipped with each
+    experiment's first ``workers`` tasks).  A key-only task that misses
+    raises :class:`_HandleCacheMiss` for the parent to retry with the
+    payload attached — the retried shard runs the identical
+    ``(priors, seed, shots)``, so the result is unchanged.
+    """
+    state = _SHARED_STATES.get(handle_key)
+    if state is None:
+        if handle is None:
+            raise _HandleCacheMiss(handle_key)
+        state = handle.build_state()
+        _SHARED_STATES[handle_key] = state
+        while len(_SHARED_STATES) > _SHARED_STATE_CAPACITY:
+            _SHARED_STATES.popitem(last=False)
+    _SHARED_STATES.move_to_end(handle_key)
+    circuit = _resolve_worker_circuit(circuit, circuit_key)
+    return state.run_shard(priors, circuit, seed, shots, collect_errors)
+
+
+class SharedPool:
+    """One process pool serving many :class:`ShardedExperiment` instances.
+
+    A campaign runs sweeps over different codes — different check
+    matrices, hence different pipeline handles.  A dedicated pool per
+    experiment would respawn processes (and rebuild worker state) per
+    sweep; a ``SharedPool`` keeps one executor alive across all of
+    them, with per-handle worker state resolved through
+    :func:`_run_shared_shard`'s fingerprint-keyed cache.
+
+    Pass it as ``ShardedExperiment(pool=...)`` (or
+    ``MemoryExperiment(pool=...)``); the experiments then treat the
+    pool as externally owned — their ``close()`` leaves it running.
+    Use as a context manager, or call :meth:`close`, to shut it down.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._executor = None
+
+    @property
+    def executor(self):
+        """The lazily created ``ProcessPoolExecutor``."""
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_shared_worker,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "SharedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 @dataclass
@@ -402,6 +547,12 @@ class ShardedExperiment:
         child samples which shot, so compare runs at a fixed value.  It
         is also the early-stop granularity: the stop rule is evaluated
         once per folded shard.
+    pool:
+        Optional :class:`SharedPool` to stream through instead of a
+        dedicated executor — the worker count then comes from the pool,
+        and :meth:`close` leaves the pool running (it is owned by the
+        caller, typically a campaign spanning several experiments).
+        Results are bit-identical with or without a shared pool.
 
     The executor is created lazily on the first multi-shard run and
     reused across calls (a sweep pays the process-spawn cost once);
@@ -414,6 +565,7 @@ class ShardedExperiment:
     handle: ExperimentHandle
     workers: int | None = None
     shard_shots: int | None = None
+    pool: SharedPool | None = None
     last_run_stats: dict = field(default_factory=dict, init=False,
                                  repr=False, compare=False)
     _executor: object | None = field(default=None, init=False, repr=False)
@@ -421,9 +573,13 @@ class ShardedExperiment:
                                           repr=False)
     _circuit_key_memo: tuple | None = field(default=None, init=False,
                                             repr=False)
+    _handle_key: str | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self.workers = resolve_workers(self.workers)
+        if self.pool is not None:
+            self.workers = self.pool.workers
+        else:
+            self.workers = resolve_workers(self.workers)
         if self.shard_shots is None:
             self.shard_shots = self.handle.decoder.block_shots
         if self.shard_shots < 1:
@@ -496,6 +652,8 @@ class ShardedExperiment:
             "tasks_submitted": 0,
             "circuit_payload_tasks": 0,
             "circuit_cache_misses": 0,
+            "handle_payload_tasks": 0,
+            "handle_cache_misses": 0,
         }
         tally_failures = prior_failures
         tally_shots = prior_shots
@@ -580,12 +738,18 @@ class ShardedExperiment:
             if circuit is None:
                 raise ValueError("the circuit method needs a circuit per run")
             circuit_key = self._circuit_key(circuit)
+        shared = self.pool is not None
+        if shared and self._handle_key is None:
+            self._handle_key = handle_fingerprint(self.handle)
         executor = self._ensure_executor()
         # Enough in-flight work to keep every worker busy while the
         # prefix folds, small enough that an early stop wastes at most
         # ~two shards per worker.
         max_inflight = max(2 * self.workers, 2)
-        payload_quota = self.workers if needs_circuit else 0
+        # The first `workers` tasks carry the heavyweight payloads (the
+        # handle on a shared pool, the circuit for the circuit method);
+        # later tasks address the worker caches by key alone.
+        payload_quota = self.workers if (needs_circuit or shared) else 0
 
         pending: dict = {}
         ready: dict[int, tuple] = {}
@@ -599,10 +763,20 @@ class ShardedExperiment:
             if payload is not None:
                 stats["circuit_payload_tasks"] += 1
             stats["tasks_submitted"] += 1
-            future = executor.submit(
-                _run_pipeline_shard, priors, payload, circuit_key,
-                seeds[index], sizes[index], collect_errors,
-            )
+            if shared:
+                handle = self.handle if with_payload else None
+                if handle is not None:
+                    stats["handle_payload_tasks"] += 1
+                future = executor.submit(
+                    _run_shared_shard, handle, self._handle_key, priors,
+                    payload, circuit_key, seeds[index], sizes[index],
+                    collect_errors,
+                )
+            else:
+                future = executor.submit(
+                    _run_pipeline_shard, priors, payload, circuit_key,
+                    seeds[index], sizes[index], collect_errors,
+                )
             pending[future] = index
 
         try:
@@ -629,8 +803,13 @@ class ShardedExperiment:
                     try:
                         ready[index] = future.result()
                         stats["shards_run"] += 1
-                    except _CircuitCacheMiss:
-                        stats["circuit_cache_misses"] += 1
+                    except (_CircuitCacheMiss, _HandleCacheMiss) as miss:
+                        # A retry re-ships every payload, so one retry
+                        # always suffices for the worker that ran it.
+                        if isinstance(miss, _HandleCacheMiss):
+                            stats["handle_cache_misses"] += 1
+                        else:
+                            stats["circuit_cache_misses"] += 1
                         if retries.get(index, 0) >= 2:
                             raise
                         retries[index] = retries.get(index, 0) + 1
@@ -644,6 +823,8 @@ class ShardedExperiment:
 
     # ------------------------------------------------------------------
     def _ensure_executor(self):
+        if self.pool is not None:
+            return self.pool.executor
         if self._executor is None:
             from concurrent.futures import ProcessPoolExecutor
             self._executor = ProcessPoolExecutor(
@@ -655,7 +836,11 @@ class ShardedExperiment:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the dedicated worker pool, if any (idempotent).
+
+        A :class:`SharedPool` passed in at construction is owned by the
+        caller and is deliberately left running.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None

@@ -1,0 +1,519 @@
+"""Tests for the cross-sweep campaign orchestrator, spec and store.
+
+The two properties the ISSUE pins down are here as hypothesis tests:
+
+* campaign-level allocation **degenerates to the single-sweep
+  scheduler** when the spec contains exactly one sweep — the campaign
+  allocates through the very same :func:`allocate_shots` /
+  :func:`run_adaptive_refine` engine, and a uniform per-point relative
+  flag sequence is proven equal to PR 4's scalar flag;
+* **store-resumed results are bit-identical to a cold run** — for
+  arbitrary campaign seeds, a second run against the store re-samples
+  zero shots and renders byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    SweepSpec,
+    available_specs,
+    builtin_spec,
+    fingerprint,
+    load_spec,
+    run_campaign,
+)
+from repro.cli import main
+from repro.core.results import PRECISION_COLUMNS
+from repro.core.stats import PrecisionTarget
+from repro.core.sweep import AdaptivePoint, allocate_shots, run_adaptive_refine
+
+
+def tiny_spec(budget: int = 400, seed: int = 3,
+              sweeps: int = 1) -> CampaignSpec:
+    """A campaign small enough for sub-second cold runs."""
+    sweep_dicts = [
+        {
+            "name": "tiny_repetition",
+            "code": "repetition-d3",
+            "kind": "physical_error",
+            "codesign": "cyclone",
+            "physical_error_rates": [5e-3, 2e-2],
+            "target": {"half_width": 0.03},
+            "rounds": 2,
+            "pilot_shots": 32,
+            "shard_shots": 64,
+        },
+        {
+            "name": "tiny_architectures",
+            "code": "surface-d3",
+            "kind": "architectures",
+            "codesigns": ["baseline", "cyclone"],
+            "physical_error_rate": 3e-3,
+            "target": {"half_width": 0.03},
+            "rounds": 2,
+            "pilot_shots": 32,
+            "shard_shots": 64,
+        },
+    ]
+    return CampaignSpec.from_dict({
+        "name": "tiny",
+        "budget": budget,
+        "seed": seed,
+        "sweeps": sweep_dicts[:sweeps],
+    })
+
+
+class TestSweepSpec:
+    def test_round_trip(self):
+        sweep = SweepSpec(
+            name="s", code="repetition-d3",
+            physical_error_rates=(1e-3, 2e-3),
+            target=PrecisionTarget(half_width=0.1, relative=True),
+            rounds=2, max_shots=500,
+        )
+        clone = SweepSpec.from_dict(sweep.to_dict())
+        assert clone == sweep
+
+    def test_architectures_round_trip(self):
+        sweep = SweepSpec(
+            name="a", code="surface-d3", kind="architectures",
+            codesigns=("baseline", "cyclone"), physical_error_rate=1e-3,
+        )
+        assert SweepSpec.from_dict(sweep.to_dict()) == sweep
+
+    def test_physical_error_requires_rates(self):
+        with pytest.raises(ValueError, match="physical_error_rates"):
+            SweepSpec(name="s", code="repetition-d3")
+
+    def test_architectures_requires_codesigns_and_rate(self):
+        with pytest.raises(ValueError, match="codesigns"):
+            SweepSpec(name="s", code="surface-d3", kind="architectures",
+                      physical_error_rate=1e-3)
+        with pytest.raises(ValueError, match="physical_error_rate"):
+            SweepSpec(name="s", code="surface-d3", kind="architectures",
+                      codesigns=("baseline",))
+
+    def test_unknown_kind_and_keys(self):
+        with pytest.raises(ValueError, match="kind"):
+            SweepSpec(name="s", code="repetition-d3", kind="bogus",
+                      physical_error_rates=(1e-3,))
+        with pytest.raises(ValueError, match="unknown sweep keys"):
+            SweepSpec.from_dict({"name": "s", "code": "repetition-d3",
+                                 "physical_error_rates": [1e-3],
+                                 "bogus": 1})
+
+    def test_validate_names(self):
+        sweep = SweepSpec(name="s", code="no-such-code",
+                          physical_error_rates=(1e-3,))
+        with pytest.raises(ValueError, match="unknown code"):
+            sweep.validate_names()
+        sweep = SweepSpec(name="s", code="repetition-d3",
+                          codesign="no-such-design",
+                          physical_error_rates=(1e-3,))
+        with pytest.raises(ValueError, match="unknown codesign"):
+            sweep.validate_names()
+
+
+class TestCampaignSpec:
+    def test_json_round_trip(self):
+        spec = tiny_spec(sweeps=2)
+        assert CampaignSpec.from_json(spec.to_json()) == spec
+
+    def test_num_points(self):
+        assert tiny_spec(sweeps=2).num_points == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one sweep"):
+            CampaignSpec(name="c", sweeps=(), budget=100)
+        with pytest.raises(ValueError, match="budget"):
+            tiny_spec(budget=0)
+        sweep = tiny_spec().sweeps[0]
+        with pytest.raises(ValueError, match="unique"):
+            CampaignSpec(name="c", sweeps=(sweep, sweep), budget=100)
+
+    def test_fingerprint_tracks_content(self):
+        spec = tiny_spec()
+        assert spec.fingerprint() == tiny_spec().fingerprint()
+        assert spec.fingerprint() != tiny_spec(seed=4).fingerprint()
+        assert spec.fingerprint() != spec.fingerprint(budget=999)
+
+    def test_builtin_specs(self):
+        assert "paper_figures" in available_specs()
+        assert "ci_smoke" in available_specs()
+        for name in available_specs():
+            spec = builtin_spec(name)
+            spec.validate_names()
+            assert spec.num_points >= 2
+        with pytest.raises(KeyError, match="unknown builtin"):
+            builtin_spec("bogus")
+
+    def test_load_spec_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(tiny_spec().to_json())
+        assert load_spec(path) == tiny_spec()
+        with pytest.raises(FileNotFoundError):
+            load_spec(tmp_path / "missing.json")
+
+
+class TestResultStore:
+    def test_round_trip_and_last_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        assert len(store) == 0
+        store.append({"key": "a", "failures": 1, "shots": 10})
+        store.append({"key": "a", "failures": 2, "shots": 20})
+        store.append({"key": "b", "failures": 0, "shots": 5})
+        reloaded = ResultStore(store.path)
+        assert len(reloaded) == 2
+        assert reloaded.get("a")["shots"] == 20
+        assert "b" in reloaded and "c" not in reloaded
+
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append({"key": "a", "failures": 1, "shots": 10})
+        with store.path.open("a") as handle:
+            handle.write('{"key": "b", "failures": 2, "sho')
+        reloaded = ResultStore(store.path)
+        assert len(reloaded) == 1
+        assert reloaded.skipped_lines == 1
+
+    def test_other_versions_ignored(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps({"key": "a", "version": 999}) + "\n")
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 0
+        assert reloaded.skipped_lines == 1
+
+    def test_key_required(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        with pytest.raises(ValueError, match="key"):
+            store.append({"failures": 1, "shots": 2})
+
+    def test_fingerprint_stability(self):
+        payload = {"b": 2, "a": [1, 2], "nested": {"x": 1.5}}
+        assert fingerprint(payload) == fingerprint(dict(reversed(
+            list(payload.items()))))
+        assert fingerprint(payload) != fingerprint({**payload, "b": 3})
+
+
+# ----------------------------------------------------------------------
+# Allocation degeneracy: the campaign allocates through the same engine
+# as the single sweep, and a uniform flag vector equals the scalar.
+
+tallies_strategy = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(0, 1000)).map(
+        lambda t: (min(t), max(t))),
+    min_size=1, max_size=8,
+)
+
+
+class TestAllocationDegeneracy:
+    @given(tallies=tallies_strategy,
+           budget=st.integers(0, 100_000),
+           cap=st.integers(1, 100_000),
+           relative=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_uniform_flags_equal_scalar(self, tallies, budget, cap,
+                                        relative):
+        """A one-sweep campaign's allocation call — per-point flags, all
+        equal — is exactly PR 4's scalar-flag allocation."""
+        caps = [cap] * len(tallies)
+        scalar = allocate_shots(tallies, budget, caps, relative=relative)
+        vector = allocate_shots(tallies, budget, caps,
+                                relative=[relative] * len(tallies))
+        assert scalar == vector
+
+    def test_flag_length_validated(self):
+        with pytest.raises(ValueError, match="one relative flag"):
+            allocate_shots([(0, 10)], 100, [50], relative=[True, False])
+
+    @given(rates=st.lists(st.floats(0.001, 0.4), min_size=1, max_size=5),
+           budget=st.integers(100, 5000),
+           seed=st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_refine_engine_respects_budget(self, rates, budget, seed):
+        """The shared engine never overspends the global budget, with
+        deterministic fake runners standing in for experiments."""
+        del seed
+
+        def runner_for(rate):
+            def runner(allocation, prior, round_index):
+                del prior, round_index
+                return int(allocation * rate), allocation
+            return runner
+
+        points = [
+            AdaptivePoint(target=PrecisionTarget(half_width=0.01),
+                          cap=budget, runner=runner_for(rate))
+            for rate in rates
+        ]
+        spent = run_adaptive_refine(points, budget, 0)
+        assert spent <= budget
+        assert spent == sum(point.tally[1] for point in points)
+
+    def test_campaign_uses_the_sweep_engine(self):
+        """Structural degeneracy: the orchestrator refines through the
+        very function the single-sweep scheduler uses."""
+        from repro.campaign import orchestrator
+        from repro.core import sweep
+
+        assert orchestrator.run_adaptive_refine is sweep.run_adaptive_refine
+        assert orchestrator.AdaptivePoint is sweep.AdaptivePoint
+
+
+# ----------------------------------------------------------------------
+# End-to-end campaign runs.
+
+class TestCampaignRun:
+    def test_cold_run_shape_and_budget(self, tmp_path):
+        spec = tiny_spec(sweeps=2)
+        result = run_campaign(spec, store=tmp_path / "store.jsonl")
+        assert result.points_total == 4
+        assert result.points_reused == 0
+        assert result.shots_reused == 0
+        assert 0 < result.shots_sampled <= spec.budget
+        assert len(result.tables) == 2
+        for table in result.tables:
+            for column in PRECISION_COLUMNS:
+                assert column in table.columns
+        summary = result.summary_table()
+        assert len(summary) == 2
+        assert sum(summary.column("shots_used")) == result.shots_sampled
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        spec = tiny_spec(sweeps=2)
+        store = tmp_path / "store.jsonl"
+        cold = run_campaign(spec, store=store)
+        warm = run_campaign(spec, store=store)
+        assert warm.shots_sampled == 0
+        assert warm.points_reused == warm.points_total
+        assert warm.shots_reused == cold.shots_sampled
+        assert [t.to_json() for t in warm.tables] == \
+               [t.to_json() for t in cold.tables]
+        assert warm.summary_table().to_json() == \
+               cold.summary_table().to_json()
+
+    @given(seed=st.integers(0, 2**31), budget=st.integers(150, 600))
+    @settings(max_examples=5, deadline=None)
+    def test_resume_property(self, tmp_path_factory, seed, budget):
+        """ISSUE property: for arbitrary seeds and budgets, the resumed
+        campaign samples zero shots and reproduces the cold tables."""
+        tmp = tmp_path_factory.mktemp("campaign-resume")
+        spec = tiny_spec(budget=budget, seed=seed)
+        store = tmp / "store.jsonl"
+        cold = run_campaign(spec, store=store)
+        warm = run_campaign(spec, store=store)
+        assert warm.shots_sampled == 0
+        assert [t.to_json() for t in warm.tables] == \
+               [t.to_json() for t in cold.tables]
+
+    def test_partial_resume_resamples_only_missing_points(self, tmp_path):
+        spec = tiny_spec(sweeps=2)
+        store_path = tmp_path / "store.jsonl"
+        cold = run_campaign(spec, store=store_path)
+        records = ResultStore(store_path).records()
+        assert len(records) == 4
+        dropped = records[1]
+        store_path.write_text("".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in records if record["key"] != dropped["key"]
+        ))
+        partial = run_campaign(spec, store=store_path)
+        assert partial.points_reused == 3
+        assert partial.shots_sampled > 0
+        # The reused rows are identical to the cold run's; only the
+        # dropped point was re-estimated.
+        for cold_table, partial_table in zip(cold.tables, partial.tables):
+            for row_index, (cold_row, partial_row) in enumerate(
+                    zip(cold_table.rows, partial_table.rows)):
+                if cold_row != partial_row:
+                    assert cold_table is cold.tables[0]
+                    assert row_index == 1
+
+    def test_worker_count_is_not_a_statistics_knob(self, tmp_path):
+        spec = tiny_spec(sweeps=2, budget=300)
+        serial = run_campaign(spec, store=tmp_path / "a.jsonl", workers=1)
+        pooled = run_campaign(spec, store=tmp_path / "b.jsonl", workers=2)
+        assert [t.to_json() for t in serial.tables] == \
+               [t.to_json() for t in pooled.tables]
+        assert serial.shots_sampled == pooled.shots_sampled
+
+    def test_budget_override_partitions_the_store(self, tmp_path):
+        spec = tiny_spec()
+        store = tmp_path / "store.jsonl"
+        run_campaign(spec, store=store, budget=200)
+        other = run_campaign(spec, store=store, budget=300)
+        assert other.points_reused == 0  # different budget, different keys
+        resumed = run_campaign(spec, store=store, budget=300)
+        assert resumed.shots_sampled == 0
+
+    def test_store_optional(self):
+        result = run_campaign(tiny_spec(budget=200))
+        assert result.store_path is None
+        assert result.shots_sampled <= 200
+
+    def test_interrupted_campaign_keeps_finalised_points(self, tmp_path,
+                                                         monkeypatch):
+        """Points are flushed to the store as they finalise, so a
+        killed campaign resumes them instead of re-sampling."""
+        from repro.core.memory import MemoryExperiment
+
+        # Sweep A meets its loose target at the pilot and is flushed
+        # right there; sweep B (tight relative target) keeps sampling.
+        spec = CampaignSpec.from_dict({
+            "name": "interruptible", "budget": 600, "seed": 5,
+            "sweeps": [
+                {"name": "easy", "code": "repetition-d3",
+                 "physical_error_rates": [5e-3],
+                 "target": {"half_width": 0.06}, "rounds": 2,
+                 "pilot_shots": 64, "shard_shots": 64},
+                {"name": "hard", "code": "repetition-d3",
+                 "physical_error_rates": [5e-3],
+                 "target": {"half_width": 0.05, "relative": True},
+                 "rounds": 2, "pilot_shots": 32, "shard_shots": 64},
+            ],
+        })
+        store_path = tmp_path / "store.jsonl"
+        appended = {"n": 0}
+        original_run = MemoryExperiment.run
+        original_append = ResultStore.append
+
+        def counting_append(self, record):
+            appended["n"] += 1
+            return original_append(self, record)
+
+        def dying_run(self, *args, **kwargs):
+            # Die on the first sampling call *after* something reached
+            # the store: the campaign is provably mid-flight with a
+            # finalised point already flushed.
+            if appended["n"] >= 1:
+                raise KeyboardInterrupt("simulated ^C mid-campaign")
+            return original_run(self, *args, **kwargs)
+
+        monkeypatch.setattr(ResultStore, "append", counting_append)
+        monkeypatch.setattr(MemoryExperiment, "run", dying_run)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, store=store_path)
+        monkeypatch.setattr(MemoryExperiment, "run", original_run)
+        interrupted = ResultStore(store_path)
+        assert len(interrupted) == 1  # the easy point survived the ^C
+        resumed = run_campaign(spec, store=store_path)
+        assert resumed.points_reused == 1
+        assert resumed.shots_sampled > 0
+        assert resumed.points_total == 2
+        # The resumed campaign finalises everything.
+        assert len(ResultStore(store_path)) == 2
+
+    def test_pooled_experiment_rejects_conflicting_workers(self):
+        from repro.core.memory import MemoryExperiment
+        from repro.parallel import SharedPool
+        from repro.codes import code_by_name
+
+        with SharedPool(2) as pool:
+            with MemoryExperiment(code=code_by_name("repetition-d3"),
+                                  rounds=2, pool=pool) as experiment:
+                assert experiment.workers == 2
+                with pytest.raises(ValueError, match="SharedPool"):
+                    experiment.run(5e-3, 100.0, shots=32, workers=1)
+                # Matching and default overrides are fine.
+                result = experiment.run(5e-3, 100.0, shots=32, workers=2)
+                assert result.shots == 32
+
+    def test_spent_never_exceeds_budget_even_when_tiny(self):
+        result = run_campaign(tiny_spec(budget=40, sweeps=2))
+        assert result.shots_sampled <= 40
+
+
+class TestCampaignCLI:
+    def test_list_specs(self, capsys):
+        assert main(["campaign", "--list-specs"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_figures" in out and "ci_smoke" in out
+
+    def test_spec_required(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "--list-specs" in capsys.readouterr().err
+
+    def test_unknown_spec(self, capsys):
+        assert main(["campaign", "no-such-spec"]) == 2
+        assert "neither a builtin spec" in capsys.readouterr().err
+
+    def test_run_resume_and_assert_flag(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(tiny_spec(budget=240).to_json())
+        out1 = tmp_path / "out1"
+        out2 = tmp_path / "out2"
+        assert main(["campaign", str(spec_path), "--store", str(store),
+                     "--output", str(out1)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", str(spec_path), "--store", str(store),
+                     "--output", str(out2), "--assert-no-sampling"]) == 0
+        output = capsys.readouterr().out
+        assert "0 shots sampled" in output
+        cold_files = sorted(p.name for p in out1.iterdir())
+        assert cold_files == sorted(p.name for p in out2.iterdir())
+        for name in cold_files:
+            assert (out1 / name).read_text() == (out2 / name).read_text()
+
+    def test_assert_flag_fails_on_fresh_store(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(tiny_spec(budget=240).to_json())
+        code = main(["campaign", str(spec_path), "--store",
+                     str(tmp_path / "fresh.jsonl"), "--assert-no-sampling"])
+        assert code == 3
+        assert "shots were sampled" in capsys.readouterr().err
+
+    def test_budget_override(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(tiny_spec(budget=100_000).to_json())
+        assert main(["campaign", str(spec_path), "--budget", "150"]) == 0
+        assert "150" in capsys.readouterr().out
+
+    def test_orchestrator_errors_are_usage_errors(self, capsys, tmp_path):
+        spec = tiny_spec(budget=240)
+        payload = json.loads(spec.to_json())
+        payload["sweeps"][0]["code"] = "BB[[72,12,6]]"  # typo: no space
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(payload))
+        assert main(["campaign", str(spec_path)]) == 2
+        assert "unknown code" in capsys.readouterr().err
+
+    def test_summary_ledger(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(tiny_spec(budget=240).to_json())
+        summary_path = tmp_path / "ledger.json"
+        assert main(["campaign", str(spec_path), "--summary",
+                     str(summary_path)]) == 0
+        ledger = json.loads(summary_path.read_text())
+        assert ledger["budget"] == 240
+        assert ledger["shots_sampled"] == ledger["spent"]
+        assert ledger["points_total"] == 2
+
+
+class TestPaperFiguresSpec:
+    """Acceptance: the bundled paper_figures spec completes under a
+    global budget and resumes with zero re-sampling (run here at a
+    reduced budget override; CI smokes the ci_smoke spec the same way,
+    and the full-budget run is the actual reproduction)."""
+
+    def test_completes_and_resumes(self, tmp_path):
+        spec = load_spec("paper_figures")
+        assert spec.num_points == 12
+        store = tmp_path / "figures.jsonl"
+        cold = run_campaign(spec, store=store, budget=1200)
+        assert cold.shots_sampled <= 1200
+        assert cold.points_total == 12
+        assert len(cold.tables) == 4
+        warm = run_campaign(spec, store=store, budget=1200)
+        assert warm.shots_sampled == 0
+        assert warm.points_reused == 12
+        assert [t.to_json() for t in warm.tables] == \
+               [t.to_json() for t in cold.tables]
