@@ -47,6 +47,18 @@ Knobs (environment variables):
   (default 3.0; see below)
 * ``REPRO_CHECK_CAMPAIGN_MIN`` — minimum campaign resume speedup
   (default 3.0; see below)
+* ``REPRO_CHECK_NATIVE_MIN``   — minimum native-vs-packed decode
+  speedup (default 2.0; see below)
+
+A **native kernel** gate re-measures the headline batched decode under
+``backend="native"`` vs ``backend="packed"``
+(``run_native_decode_comparison``): the C tier must be at least
+``REPRO_CHECK_NATIVE_MIN``x faster with bit-identical outputs.  Being
+a same-host ratio it is meaningful on any machine — but it is
+**skipped with a note** (never failed) when the host has no C
+toolchain, because the native backend then falls back to the packed
+kernels and there is nothing to measure; also skipped when the
+committed baseline predates the ``native_decode`` section.
 
 A third gate covers the **adaptive sweep**: the fixed-budget vs
 pilot/allocate/refine comparison (``run_adaptive_sweep_comparison``)
@@ -79,6 +91,7 @@ from perf_smoke import (
     OUTPUT_PATH,
     run_adaptive_sweep_comparison,
     run_campaign_resume_comparison,
+    run_native_decode_comparison,
     time_memory_experiment,
     time_sharded_pipeline,
 )
@@ -218,6 +231,38 @@ def main() -> int:
             ok = False
         else:
             print("  OK")
+
+    if baseline["sections"].get("native_decode") is None:
+        print("note: baseline has no native_decode section; skipping the "
+              "native-kernel gate (re-run perf_smoke to record one)")
+    else:
+        native_min = _float_env("REPRO_CHECK_NATIVE_MIN", 2.0)
+        native_shots = int(baseline["budgets"].get("native_decode_shots",
+                                                   2000))
+        print(f"measuring native decode speedup ({native_shots} shots, "
+              "native C kernels vs packed)...", flush=True)
+        native = run_native_decode_comparison(native_shots)
+        if "skipped_reason" in native:
+            # No toolchain on this host: nothing to measure — the native
+            # backend falls back to the packed kernels (note above, from
+            # run_native_decode_comparison).  Never a failure.
+            pass
+        else:
+            print(f"[native decode] packed {native['packed_seconds']:.2f}s, "
+                  f"native {native['native_seconds']:.2f}s "
+                  f"(x{native['speedup']:.2f}, outputs_identical="
+                  f"{native['outputs_identical']})")
+            if not native["outputs_identical"]:
+                print("FAIL: native decode outputs differ from the packed "
+                      "backend", file=sys.stderr)
+                ok = False
+            elif native["speedup"] < native_min:
+                print(f"FAIL: native decode speedup "
+                      f"{native['speedup']:.2f}x below the "
+                      f"{native_min:.1f}x gate", file=sys.stderr)
+                ok = False
+            else:
+                print("  OK")
 
     if baseline["sections"].get("adaptive_sweep") is None:
         print("note: baseline has no adaptive_sweep section; skipping the "

@@ -22,6 +22,13 @@ with the environment variables below (e.g. for a quick CI sanity check):
 * ``REPRO_PERF_SWEEP_SHOTS``  — adaptive-sweep shots per point  (4000)
 * ``REPRO_PERF_CAMPAIGN_BUDGET`` — campaign-resume global budget (3000)
 
+The ``native_decode`` section times the headline batched decode under
+``backend="native"`` (the compiled C kernel tier of
+:mod:`repro.linalg.native`) against ``backend="packed"``, records the
+build fingerprint of the binary it measured, and asserts the outputs
+are bit-identical.  On hosts without a C toolchain the section is
+skipped with a recorded ``skipped_reason`` — never a failure.
+
 Two sharded sections run the headline workload single- and multi-core
 (``workers`` 1/2/4, packed backend only): ``sharded_memory_experiment``
 times the full ``MemoryExperiment`` end to end, ``sharded_pipeline``
@@ -175,6 +182,69 @@ def bench_batched_decode(shots: int) -> dict:
         "speedup": timings["bool"] / timings["packed"],
         "bp_converged_fraction": converged,
     }
+
+
+def run_native_decode_comparison(shots: int) -> dict:
+    """Native C kernel tier vs packed numpy on the headline decode.
+
+    Same workload as ``bench_batched_decode`` (phenomenological BB-code
+    syndromes, 40 BP iterations) timed under ``backend="native"`` vs
+    ``backend="packed"``.  On hosts without a C toolchain the section
+    is **skipped** — recorded as a ``skipped_reason`` entry, never a
+    failure — because there is nothing to measure: the native backend
+    falls back to the packed kernels.  When the tier is available the
+    section records the build fingerprint (compiler, flags, source
+    hash) alongside the timings, so committed numbers are traceable to
+    the binary that produced them.  Shared by ``perf_smoke.py``
+    (committed section) and ``check_bench.py`` (>= 2x regression gate)
+    so both measure the identical workload.
+    """
+    from repro.linalg.native import (
+        get_kernels,
+        native_available,
+        native_unavailable_reason,
+    )
+
+    section: dict = {
+        "description": f"{BB_CODE} phenomenological syndromes, {shots} "
+                       f"shots, native C kernels vs packed numpy",
+    }
+    if not native_available():
+        reason = native_unavailable_reason() or "native tier unavailable"
+        section["skipped_reason"] = reason
+        print(f"  note: native tier unavailable ({reason}); "
+              "section skipped", flush=True)
+        return section
+    kernels = get_kernels()
+    section["build_fingerprint"] = kernels.fingerprint
+
+    code = code_by_name(BB_CODE)
+    noise = HardwareNoiseModel.from_physical_error_rate(
+        PHYSICAL_ERROR_RATE, round_latency_us=ROUND_LATENCY_US
+    )
+    model = build_phenomenological_model(code, noise, rounds=6)
+    syndromes, _ = model.sample(shots, seed=0)
+    timings = {}
+    results = {}
+    for backend in ("packed", "native"):
+        decoder = BPOSDDecoder(model.check_matrix, model.priors,
+                               max_iterations=40, backend=backend)
+        timings[backend], results[backend] = _timed(
+            lambda: decoder.decode_batch(syndromes)
+        )
+    section.update({
+        "native_active": True,
+        "packed_seconds": timings["packed"],
+        "native_seconds": timings["native"],
+        "speedup": timings["packed"] / timings["native"],
+        "outputs_identical": bool(
+            np.array_equal(results["packed"].errors,
+                           results["native"].errors)
+            and np.array_equal(results["packed"].bp_converged,
+                               results["native"].bp_converged)
+        ),
+    })
+    return section
 
 
 def time_memory_experiment(shots: int, backend: str = "packed",
@@ -493,6 +563,9 @@ def main() -> None:
     sections["dem_extraction"] = bench_dem_extraction()
     print(f"batched decode ({decode_shots} shots)...", flush=True)
     sections["batched_decode"] = bench_batched_decode(decode_shots)
+    print(f"native decode ({decode_shots} shots, native C kernels vs "
+          "packed)...", flush=True)
+    sections["native_decode"] = run_native_decode_comparison(decode_shots)
     print(f"memory experiment ({shots} shots, slow: runs the boolean "
           "reference too)...", flush=True)
     sections["memory_experiment"] = bench_memory_experiment(shots)
@@ -518,6 +591,7 @@ def main() -> None:
         "budgets": {
             "memory_experiment_shots": shots,
             "batched_decode_shots": decode_shots,
+            "native_decode_shots": decode_shots,
             "frame_sampling_shots": frame_shots,
             "sharded_memory_experiment_shots": shard_shots,
             "adaptive_sweep_shots": sweep_shots,
@@ -530,11 +604,18 @@ def main() -> None:
 
     print()
     for name, section in sections.items():
-        if "packed_seconds" not in section:
+        if "bool_seconds" not in section:
             continue
         print(f"{name:20s} packed {section['packed_seconds']:8.2f}s  "
               f"bool {section['bool_seconds']:8.2f}s  "
               f"speedup {section['speedup']:6.1f}x")
+    native = sections["native_decode"]
+    if "skipped_reason" in native:
+        print(f"native_decode        skipped: {native['skipped_reason']}")
+    else:
+        print(f"{'native_decode':20s} packed {native['packed_seconds']:8.2f}s"
+              f"  native {native['native_seconds']:6.2f}s  "
+              f"speedup {native['speedup']:6.1f}x (target >= 2x)")
     for name in ("sharded_memory_experiment", "sharded_pipeline"):
         sharded = sections[name]
         print(f"{name}:")

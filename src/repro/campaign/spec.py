@@ -82,6 +82,8 @@ class SweepSpec:
             raise ValueError(f"kind must be one of {_SWEEP_KINDS}")
         if self.method not in ("phenomenological", "circuit"):
             raise ValueError("method must be 'phenomenological' or 'circuit'")
+        if self.backend not in ("packed", "bool", "native"):
+            raise ValueError("backend must be 'packed', 'bool' or 'native'")
         if self.kind == "physical_error" and not self.physical_error_rates:
             raise ValueError(
                 f"sweep {self.name!r}: physical_error sweeps need "

@@ -91,9 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     memory_parser.add_argument("--rounds", type=int, default=None)
     memory_parser.add_argument("--seed", type=int, default=0)
     memory_parser.add_argument(
-        "--backend", choices=("packed", "bool"), default="packed",
-        help="simulation/decoding kernels: bit-packed (fast, default) or "
-             "boolean reference",
+        "--backend", choices=("packed", "bool", "native"), default="packed",
+        help="simulation/decoding kernels: bit-packed (fast, default), "
+             "boolean reference, or native (compiled C decoder kernels, "
+             "bit-identical to packed; falls back to packed when no C "
+             "toolchain is available)",
     )
     memory_parser.add_argument(
         "--workers", type=int, default=1,

@@ -42,6 +42,7 @@ from repro.core.phenomenological import (
     build_spacetime_structure,
 )
 from repro.core.stats import PrecisionTarget, as_precision_target
+from repro.linalg.native import simulation_backend
 from repro.noise.hardware import HardwareNoiseModel
 from repro.parallel.pipeline import ExperimentHandle, SharedPool, ShardedExperiment
 from repro.parallel.sharded import DecoderHandle, resolve_workers
@@ -162,8 +163,12 @@ class MemoryExperiment:
         Gate schedule used by the circuit-level method.
     backend:
         ``"packed"`` (default) uses the bit-packed shot-parallel kernels
-        throughout (simulator, DEM, decoder); ``"bool"`` selects the
-        boolean reference implementations.
+        throughout (simulator, DEM, decoder); ``"native"`` additionally
+        routes the decoder's hot kernels through the compiled C tier
+        (bit-identical to ``"packed"``, silently falling back to it on
+        hosts without a C toolchain; sampling and DEM extraction stay on
+        the packed kernels either way); ``"bool"`` selects the boolean
+        reference implementations.
     workers:
         Default worker-process count for the fused sample→decode
         pipeline (``1``: in-process; ``0``: one worker per core;
@@ -208,8 +213,8 @@ class MemoryExperiment:
     def __post_init__(self) -> None:
         if self.method not in ("phenomenological", "circuit"):
             raise ValueError("method must be 'phenomenological' or 'circuit'")
-        if self.backend not in ("packed", "bool"):
-            raise ValueError("backend must be 'packed' or 'bool'")
+        if self.backend not in ("packed", "bool", "native"):
+            raise ValueError("backend must be 'packed', 'bool' or 'native'")
         if self.pool is not None:
             self.workers = self.pool.workers
         else:
@@ -403,7 +408,8 @@ class MemoryExperiment:
         # whose noise arguments the point changed — is re-shipped to the
         # workers, never the DEM structure.
         if self._dem_cache is None:
-            self._dem_cache = DemStructureCache(backend=self.backend)
+            self._dem_cache = DemStructureCache(
+                backend=simulation_backend(self.backend))
         dem = self._dem_cache.model_for(circuit)
         pipeline = self._pipeline_for(
             dem.check_matrix, dem.observable_matrix, dem.priors, workers

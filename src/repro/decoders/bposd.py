@@ -9,16 +9,21 @@ keeps the non-pivot columns at zero; OSD-E additionally tries all
 low-weight patterns on the ``osd_order`` least-reliable non-pivot
 columns and keeps the most likely consistent solution.
 
-Two backends are provided.  ``backend="packed"`` (default) runs BP with
-an active-set mask (converged shots drop out of message passing) and
-OSD-E with a single Gauss-Jordan factorization per shot that is reused
-across all ``2**osd_order`` trial patterns — and shared across *shots*
-whose BP posteriors produce the same column order (a keyed cache in
-:class:`~repro.decoders.gf2dense.PackedGF2Matrix`, common at low error
-rates where posteriors tie).  ``backend="bool"`` is the
-reference implementation: full-batch BP and a fresh elimination per
-trial pattern.  Both return identical corrections for identical BP soft
-output.
+Three backends are provided.  ``backend="packed"`` (default) runs BP
+with an active-set mask (converged shots drop out of message passing)
+and OSD-E with a single Gauss-Jordan factorization per shot that is
+reused across all ``2**osd_order`` trial patterns — and shared across
+*shots* whose BP posteriors produce the same column order (a keyed
+cache in :class:`~repro.decoders.gf2dense.PackedGF2Matrix`, common at
+low error rates where posteriors tie).  ``backend="native"`` keeps the
+packed decode structure but routes the hot kernels — the fused min-sum
+check update, the packed syndrome verification and the OSD
+Gauss-Jordan eliminations — through the compiled C tier
+(:mod:`repro.linalg.native`), bit-identical to ``"packed"`` and
+silently degrading to it on hosts without a C toolchain.
+``backend="bool"`` is the reference implementation: full-batch BP and
+a fresh elimination per trial pattern.  All return identical
+corrections for identical BP soft output.
 """
 
 from __future__ import annotations
@@ -57,8 +62,8 @@ class BPOSDDecoder:
                  scaling_factor: float = 0.75,
                  backend: str = "packed", block_shots: int = 2048,
                  factor_cache_size: int = 32) -> None:
-        if backend not in ("packed", "bool"):
-            raise ValueError("backend must be 'packed' or 'bool'")
+        if backend not in ("packed", "bool", "native"):
+            raise ValueError("backend must be 'packed', 'bool' or 'native'")
         if block_shots < 1:
             raise ValueError("block_shots must be positive")
         self.check_matrix = np.asarray(check_matrix, dtype=np.uint8)
@@ -75,11 +80,13 @@ class BPOSDDecoder:
         self._bp = BeliefPropagationDecoder(
             self.check_matrix, self.priors,
             max_iterations=max_iterations, scaling_factor=scaling_factor,
-            active_set=(backend == "packed"),
-            packed_verification=(backend == "packed"),
+            active_set=(backend != "bool"),
+            packed_verification=(backend != "bool"),
+            native=(backend == "native"),
         )
         self._packed = PackedGF2Matrix(self.check_matrix,
-                                       factor_cache_size=factor_cache_size)
+                                       factor_cache_size=factor_cache_size,
+                                       native=(backend == "native"))
 
     @property
     def num_checks(self) -> int:
@@ -88,6 +95,17 @@ class BPOSDDecoder:
     @property
     def num_mechanisms(self) -> int:
         return int(self.check_matrix.shape[1])
+
+    @property
+    def native_active(self) -> bool:
+        """Whether ``backend="native"`` actually bound the C kernel tier.
+
+        ``False`` either because another backend was requested or
+        because the host has no working toolchain — in the latter case
+        the decoder runs the packed kernels and produces bit-identical
+        results, so this flag is informational (benchmarks record it).
+        """
+        return self._bp._native_kernels is not None
 
     # ------------------------------------------------------------------
     def update_priors(self, priors: np.ndarray) -> None:
@@ -112,16 +130,27 @@ class BPOSDDecoder:
         """
         syndromes = np.atleast_2d(np.asarray(syndromes)).astype(np.uint8)
         shots = syndromes.shape[0]
-        block = self.block_shots if self.backend == "packed" else max(shots, 1)
+        block = self.block_shots if self.backend != "bool" else max(shots, 1)
         errors_parts = []
         converged_parts = []
         for start in range(0, shots, block):
             stop = start + block
             bp_result = self._bp.decode_batch(syndromes[start:stop])
             errors = bp_result.errors.copy()
-            for shot in np.nonzero(~bp_result.converged)[0]:
+            unconverged = np.nonzero(~bp_result.converged)[0]
+            if unconverged.size:
+                # One vectorized argsort over every unconverged shot of
+                # the block; per-row stable argsort is identical to the
+                # per-shot call it replaces, so corrections are
+                # unchanged — only the sort dispatch overhead goes.
+                column_orders = np.argsort(
+                    bp_result.posterior_llrs[unconverged], axis=1,
+                    kind="stable",
+                )
+            for row, shot in enumerate(unconverged):
                 errors[shot] = self._osd_single(
-                    syndromes[start + shot], bp_result.posterior_llrs[shot]
+                    syndromes[start + shot], bp_result.posterior_llrs[shot],
+                    column_order=column_orders[row],
                 )
             errors_parts.append(errors)
             converged_parts.append(bp_result.converged)
@@ -139,13 +168,17 @@ class BPOSDDecoder:
 
     # ------------------------------------------------------------------
     def _osd_single(self, syndrome: np.ndarray,
-                    posterior_llrs: np.ndarray) -> np.ndarray:
-        # Most-likely-to-be-flipped first: ascending LLR.
-        column_order = np.argsort(posterior_llrs, kind="stable")
-        if self.backend == "packed" and self.osd_order > 0:
+                    posterior_llrs: np.ndarray,
+                    column_order: np.ndarray | None = None) -> np.ndarray:
+        if column_order is None:
+            # Most-likely-to-be-flipped first: ascending LLR.  Batch
+            # callers pass the order in (one argsort across all
+            # unconverged shots); this is the single-shot fallback.
+            column_order = np.argsort(posterior_llrs, kind="stable")
+        if self.backend != "bool" and self.osd_order > 0:
             return self._osd_factored(syndrome, posterior_llrs, column_order)
         try:
-            if self.backend == "packed":
+            if self.backend != "bool":
                 # OSD-0 solves each syndrome once, but shots whose BP
                 # posteriors tie on the same column order (common at low
                 # error rates) replay a shared elimination — identical

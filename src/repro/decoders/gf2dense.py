@@ -27,16 +27,28 @@ class PackedGF2Matrix:
     """A dense GF(2) matrix packed along rows (8 columns per byte).
 
     ``factor_cache_size`` bounds the keyed factorization cache (see the
-    module docstring); ``0`` disables caching entirely.
+    module docstring); ``0`` disables caching entirely.  ``native=True``
+    runs every elimination through the compiled kernel tier
+    (:mod:`repro.linalg.native`) when the host toolchain provides it —
+    pivot selection and row operations are identical, so ranks, pivot
+    columns and solutions are bit-identical to the numpy path; when the
+    tier is unavailable the flag silently degrades to the numpy
+    elimination.
     """
 
     def __init__(self, matrix: np.ndarray,
-                 factor_cache_size: int = 32) -> None:
+                 factor_cache_size: int = 32,
+                 native: bool = False) -> None:
         matrix = np.asarray(matrix, dtype=np.uint8)
         if matrix.ndim != 2:
             raise ValueError("expected a 2-D matrix")
         self.num_rows, self.num_cols = matrix.shape
         self._packed = np.packbits(matrix, axis=1)
+        self._kernels = None
+        if native:
+            from repro.linalg.native import get_kernels
+
+            self._kernels = get_kernels()
         # Keyed factorization cache: column-order bytes -> factorization,
         # or None for an order seen exactly once (not yet worth the
         # row-transform accumulation).  LRU-bounded so OSD-heavy
@@ -76,11 +88,12 @@ class PackedGF2Matrix:
         Raises ``ValueError`` when the system is inconsistent.
         """
         packed = self._packed.copy()
-        syndrome = np.asarray(syndrome, dtype=np.uint8).copy()
+        syndrome = np.ascontiguousarray(syndrome, dtype=np.uint8).copy()
         if syndrome.shape[0] != self.num_rows:
             raise ValueError("syndrome length does not match row count")
 
-        rank, pivot_cols = _gauss_jordan(packed, syndrome, column_order)
+        rank, pivot_cols = _gauss_jordan(packed, syndrome, column_order,
+                                         kernels=self._kernels)
 
         # Remaining rows must have zero syndrome for consistency.
         if rank < self.num_rows and syndrome[rank:].any():
@@ -151,7 +164,8 @@ class PackedGF2Matrix:
 
 
 def _gauss_jordan(packed: np.ndarray, carry: np.ndarray,
-                  column_order: np.ndarray) -> tuple[int, list[int]]:
+                  column_order: np.ndarray,
+                  kernels=None) -> tuple[int, list[int]]:
     """In-place Gauss-Jordan elimination on a column-packed matrix.
 
     Visits columns in ``column_order``; every row swap and row XOR is
@@ -159,7 +173,13 @@ def _gauss_jordan(packed: np.ndarray, carry: np.ndarray,
     the packed identity when accumulating the row transform of a
     factorization).  Returns ``(rank, pivot_cols)``; pivot ``i`` lives
     in row ``i``.
+
+    ``kernels`` (a bound :class:`repro.linalg.native.NativeKernels`)
+    runs the identical elimination in C — same pivot rule, same row
+    operations, bit-identical outputs.
     """
+    if kernels is not None:
+        return kernels.gauss_jordan(packed, carry, column_order)
     num_rows = packed.shape[0]
     pivot_cols: list[int] = []
     next_pivot_row = 0
@@ -208,7 +228,8 @@ class GF2Factorization:
         reduced = matrix._packed.copy()
         transform = np.packbits(np.identity(self.num_rows, dtype=np.uint8),
                                 axis=1)
-        rank, pivot_cols = _gauss_jordan(reduced, transform, column_order)
+        rank, pivot_cols = _gauss_jordan(reduced, transform, column_order,
+                                         kernels=matrix._kernels)
         self._reduced = reduced
         self._transform = transform
         self.rank = rank

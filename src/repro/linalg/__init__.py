@@ -25,11 +25,17 @@ from repro.linalg.bitops import (
     pack_bits,
     unpack_bits,
     popcount,
+    popcount_words,
     parity,
     xor_reduce,
     xor_accumulate,
     packed_matmul,
     packed_matmul_words,
+)
+from repro.linalg.native import (
+    native_available,
+    native_unavailable_reason,
+    simulation_backend,
 )
 
 __all__ = [
@@ -48,9 +54,13 @@ __all__ = [
     "pack_bits",
     "unpack_bits",
     "popcount",
+    "popcount_words",
     "parity",
     "xor_reduce",
     "xor_accumulate",
     "packed_matmul",
     "packed_matmul_words",
+    "native_available",
+    "native_unavailable_reason",
+    "simulation_backend",
 ]

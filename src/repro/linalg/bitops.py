@@ -31,6 +31,7 @@ __all__ = [
     "pack_bits",
     "unpack_bits",
     "popcount",
+    "popcount_words",
     "parity",
     "xor_reduce",
     "xor_accumulate",
@@ -38,6 +39,22 @@ __all__ = [
     "packed_matmul_words",
     "bit_mask",
 ]
+
+
+def _native_kernels(backend: str):
+    """The bound native library when ``backend="native"`` asks for it.
+
+    Returns ``None`` for other backends *and* when the toolchain is
+    absent (the probe in :mod:`repro.linalg.native` logs one note and
+    every caller silently keeps the numpy kernels — bit-identical by
+    construction).  Imported lazily to keep the packed tier free of any
+    native-probe cost.
+    """
+    if backend != "native":
+        return None
+    from repro.linalg import native
+
+    return native.get_kernels()
 
 WORD_BITS = 64
 #: Explicit little-endian words so bit ``j`` of word ``w`` is always
@@ -105,6 +122,22 @@ else:  # pragma: no cover - exercised only on numpy < 2.0
         return (v * h01) >> np.uint64(56)
 
 
+def popcount_words(words: np.ndarray, backend: str = "packed") -> np.ndarray:
+    """Per-word population count with backend dispatch.
+
+    ``backend="packed"`` (default) is :func:`popcount`;
+    ``backend="native"`` routes to the compiled kernel tier when the
+    host toolchain provides it and falls back to :func:`popcount`
+    otherwise.  Counts are exact integers, so the backends are
+    interchangeable bit for bit (the native path returns uint8 counts,
+    as numpy >= 2 does).
+    """
+    kernels = _native_kernels(backend)
+    if kernels is not None:
+        return kernels.popcount_words(np.asarray(words, dtype=WORD_DTYPE))
+    return popcount(words)
+
+
 def parity(words: np.ndarray, axis: int = -1) -> np.ndarray:
     """GF(2) parity of the bits packed along ``axis`` (plus that axis)."""
     return (popcount(words).sum(axis=axis) & 1).astype(np.uint8)
@@ -148,7 +181,8 @@ def packed_matmul(a_packed: np.ndarray, b_packed: np.ndarray,
 
 
 def packed_matmul_words(a_packed: np.ndarray, b_packed: np.ndarray,
-                        chunk: int = 512) -> np.ndarray:
+                        chunk: int = 512,
+                        backend: str = "packed") -> np.ndarray:
     """:func:`packed_matmul` with the result bit-packed along the B rows.
 
     Returns the ``(m, num_words(n))`` word array whose bit ``j`` of row
@@ -157,5 +191,15 @@ def packed_matmul_words(a_packed: np.ndarray, b_packed: np.ndarray,
     consumer (e.g. BP's packed syndrome verification) can compare
     against other packed operands with word XORs instead of per-bit
     boolean comparisons.
+
+    ``backend="native"`` computes and packs the parities in one pass of
+    the compiled kernel tier (bit-identical — GF(2) is exact) and falls
+    back to the numpy path when the toolchain is absent.
     """
+    kernels = _native_kernels(backend)
+    if kernels is not None:
+        return kernels.packed_matmul_words(
+            np.asarray(a_packed, dtype=WORD_DTYPE),
+            np.asarray(b_packed, dtype=WORD_DTYPE),
+        )
     return pack_bits(packed_matmul(a_packed, b_packed, chunk=chunk), axis=1)

@@ -100,6 +100,7 @@ from repro.circuits.circuit import Circuit
 from repro.core.phenomenological import sample_phenomenological_shard
 from repro.core.stats import PrecisionTarget, as_precision_target, binomial_interval
 from repro.linalg.bitops import pack_bits, packed_matmul
+from repro.linalg.native import simulation_backend
 from repro.parallel.sharded import DecoderHandle, resolve_workers
 from repro.sim.frame import sample_circuit_shard
 
@@ -305,7 +306,11 @@ class _PipelineState:
     def __init__(self, handle: ExperimentHandle) -> None:
         self.handle = handle
         self.decoder = handle.decoder.build()
-        if handle.backend == "packed":
+        # ``"native"`` shares the packed sampling/projection path: the
+        # native tier accelerates decoder kernels only, so both fast
+        # backends sample identical bits (see linalg.native).
+        self.sim_backend = simulation_backend(handle.backend)
+        if self.sim_backend == "packed":
             self.packed_check = pack_bits(self.decoder.check_matrix, axis=1)
             self.packed_observable = pack_bits(handle.observable_matrix,
                                                axis=1)
@@ -316,7 +321,7 @@ class _PipelineState:
     # ------------------------------------------------------------------
     def predict_observables(self, errors: np.ndarray) -> np.ndarray:
         """``errors @ observable_matrix.T mod 2`` in the active backend."""
-        if self.handle.backend == "packed":
+        if self.sim_backend == "packed":
             return packed_matmul(pack_bits(errors, axis=1),
                                  self.packed_observable)
         return (errors @ self.handle.observable_matrix.T) % 2
@@ -335,15 +340,15 @@ class _PipelineState:
         if self.handle.method == "phenomenological":
             syndromes, observables = sample_phenomenological_shard(
                 self.decoder.check_matrix, self.handle.observable_matrix,
-                priors, shots, seed, backend=self.handle.backend,
+                priors, shots, seed, backend=self.sim_backend,
                 packed_matrices=(self.packed_check, self.packed_observable)
-                if self.handle.backend == "packed" else None,
+                if self.sim_backend == "packed" else None,
             )
         else:
             if circuit is None:
                 raise ValueError("the circuit method needs a circuit per run")
             sample = sample_circuit_shard(circuit, shots, seed,
-                                          backend=self.handle.backend)
+                                          backend=self.sim_backend)
             syndromes, observables = sample.detectors, sample.observables
         decoded = self.decoder.decode_batch(syndromes)
         predicted = self.predict_observables(decoded.errors)
