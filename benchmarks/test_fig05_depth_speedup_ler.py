@@ -3,26 +3,29 @@
 Paper series: for HGP codes at p = 5e-4, dividing the baseline's depth
 by 2x / 4x lowers the logical error rate dramatically (a 2x depth
 reduction already cuts the LER by ~90%).
+
+The table comes straight from the ``fig05_depth_speedup`` sweep of the
+``paper_figures_full`` campaign spec, run through its registered sweep
+kind — the benchmark only rescales the Monte-Carlo budget.
 """
 
-from repro.analysis import depth_speedup_ler
-from repro.codes import code_by_name
+from dataclasses import replace
+
+from repro.campaign import builtin_spec, run_sweep_kind
+
+
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
 
 
 def test_fig05_baseline_depth_speedup(benchmark, report, bench_shots,
                                       bench_rounds):
-    code = code_by_name("HGP [[225,9,6]]")
+    sweep = replace(_spec_sweep("fig05_depth_speedup"), rounds=bench_rounds)
 
     table = benchmark.pedantic(
-        depth_speedup_ler,
-        kwargs={
-            "code": code,
-            "physical_error_rate": 5e-4,
-            "speedups": (1.0, 2.0, 4.0),
-            "shots": bench_shots,
-            "rounds": bench_rounds,
-            "seed": 7,
-        },
+        run_sweep_kind, args=(sweep,),
+        kwargs={"shots": bench_shots, "seed": 7},
         rounds=1, iterations=1,
     )
     report(table)

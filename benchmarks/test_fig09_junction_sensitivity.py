@@ -3,25 +3,28 @@
 Paper message: the dense junction mesh only becomes temporally
 competitive with (and then better than) the baseline grid once junction
 crossing times are reduced by roughly 70%.
+
+The table comes straight from the ``fig09_junction`` sweep of the
+``paper_figures_full`` campaign spec, run through its registered sweep
+kind — the benchmark only rescales the Monte-Carlo budget.
 """
 
-from repro.analysis import junction_crossing_sensitivity
-from repro.codes import code_by_name
+from dataclasses import replace
+
+from repro.campaign import builtin_spec, run_sweep_kind
+
+
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
 
 
 def test_fig09_junction_crossing_sensitivity(benchmark, report, bench_shots,
                                              bench_rounds):
-    code = code_by_name("HGP [[225,9,6]]")
+    sweep = replace(_spec_sweep("fig09_junction"), rounds=bench_rounds)
     table = benchmark.pedantic(
-        junction_crossing_sensitivity,
-        kwargs={
-            "code": code,
-            "physical_error_rate": 1e-4,
-            "reductions": (0.0, 0.3, 0.5, 0.7, 0.9),
-            "shots": bench_shots,
-            "rounds": bench_rounds,
-            "seed": 11,
-        },
+        run_sweep_kind, args=(sweep,),
+        kwargs={"shots": bench_shots, "seed": 11},
         rounds=1, iterations=1,
     )
     report(table)

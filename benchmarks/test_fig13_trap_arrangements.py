@@ -1,30 +1,35 @@
-"""Figure 13: Cyclone sensitivity to trap count / ion capacity ("tight" designs).
+"""Figure 13: Cyclone sensitivity to trap count / capacity ("tight" designs).
 
 Paper message (for the [[225,9,6]] HGP code at p = 1e-4): a single dense
 trap is terrible (441-ion chain, no shuttling but extremely slow gates),
 the base form (m/2 traps) is good, and the optimum sits at an
 intermediate density (the paper finds 64 traps with ~8 ions each); even
 9 traps already beats the baseline grid.
+
+The table comes straight from the ``fig13_trap_arrangement`` sweep of
+the ``paper_figures_full`` campaign spec, run through its registered
+sweep kind — the benchmark only rescales the Monte-Carlo budget.
 """
 
-from repro.analysis import trap_arrangement_sensitivity
+from dataclasses import replace
+
+from repro.campaign import builtin_spec, run_sweep_kind
 from repro.codes import code_by_name
 from repro.core import codesign_by_name
 
 
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
+
+
 def test_fig13_trap_ion_arrangements(benchmark, report, bench_shots,
                                      bench_rounds):
-    code = code_by_name("HGP [[225,9,6]]")
+    sweep = replace(_spec_sweep("fig13_trap_arrangement"),
+                    rounds=bench_rounds)
     table = benchmark.pedantic(
-        trap_arrangement_sensitivity,
-        kwargs={
-            "code": code,
-            "trap_counts": (1, 9, 25, 64, 108),
-            "physical_error_rate": 1e-4,
-            "shots": bench_shots,
-            "rounds": bench_rounds,
-            "seed": 13,
-        },
+        run_sweep_kind, args=(sweep,),
+        kwargs={"shots": bench_shots, "seed": 13},
         rounds=1, iterations=1,
     )
     report(table)
@@ -36,5 +41,6 @@ def test_fig13_trap_ion_arrangements(benchmark, report, bench_shots,
     # The 64-trap point is at least as good as the sparse base form.
     assert by_traps[64] <= by_traps[108] * 1.05
     # Even 9 traps outperforms the baseline grid codesign.
+    code = code_by_name(sweep.code)
     baseline = codesign_by_name("baseline").compile(code).execution_time_us
     assert by_traps[9] < baseline

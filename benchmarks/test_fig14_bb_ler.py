@@ -5,43 +5,44 @@ of the baseline grid codesign (labeled B) and of Cyclone (labeled C);
 Cyclone improves the LER by up to ~3 orders of magnitude and keeps every
 code below threshold across the tested p range.
 
-The committed benchmark uses a reduced shot budget (see
-benchmarks/conftest.py) so absolute LER floors are limited by 1/shots;
-the asserted property is the ordering: Cyclone is never worse.
+Each (code, design) series is the matching ``physical_error`` sweep of
+the ``paper_figures_full`` campaign spec, run through its registered
+sweep kind; the benchmark only trims the p grid and the Monte-Carlo
+budget.  The asserted property is the ordering: Cyclone is never worse.
 """
+
+from dataclasses import replace
 
 import pytest
 
-from repro.codes import code_by_name
-from repro.core import codesign_by_name, logical_error_rate
+from repro.campaign import builtin_spec, run_sweep_kind
 from repro.core.results import ResultTable
 
-BB_CODES = ["BB [[72,12,6]]", "BB [[144,12,12]]"]
+SWEEPS = {  # (code, design label) -> paper_figures_full sweep name
+    ("BB [[72,12,6]]", "B"): "fig14_bb72_baseline",
+    ("BB [[72,12,6]]", "C"): "fig14_bb72_cyclone",
+    ("BB [[144,12,12]]", "B"): "fig14_bb144_baseline",
+    ("BB [[144,12,12]]", "C"): "fig14_bb144_cyclone",
+}
 PHYSICAL_ERROR_RATES = [3e-4, 1e-3]
+
+
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
 
 
 def _bb_ler_table(shots: int, rounds: int) -> ResultTable:
     table = ResultTable(
         title="Fig. 14 — LER: Cyclone (C) vs baseline (B) on BB codes",
         columns=["code", "design", "p", "round_latency_us",
-                 "logical_error_rate", "ler_per_round"],
+                 "logical_error_rate"],
     )
-    for code_name in BB_CODES:
-        code = code_by_name(code_name)
-        latencies = {
-            "B": codesign_by_name("baseline").compile(code).execution_time_us,
-            "C": codesign_by_name("cyclone").compile(code).execution_time_us,
-        }
-        for p in PHYSICAL_ERROR_RATES:
-            for design, latency in latencies.items():
-                result = logical_error_rate(code, p, latency, shots=shots,
-                                            rounds=rounds, seed=17)
-                table.add_row(
-                    code=code_name, design=design, p=p,
-                    round_latency_us=latency,
-                    logical_error_rate=result.logical_error_rate,
-                    ler_per_round=result.logical_error_rate_per_round,
-                )
+    for (code_name, design), sweep_name in SWEEPS.items():
+        sweep = replace(_spec_sweep(sweep_name), rounds=rounds,
+                        physical_error_rates=tuple(PHYSICAL_ERROR_RATES))
+        for row in run_sweep_kind(sweep, shots=shots, seed=17).rows:
+            table.add_row(code=code_name, design=design, **row)
     return table
 
 
@@ -53,7 +54,7 @@ def test_fig14_bb_logical_error_rates(benchmark, report, bench_shots,
     )
     report(table)
 
-    for code_name in BB_CODES:
+    for code_name in {code for code, _ in SWEEPS}:
         for p in PHYSICAL_ERROR_RATES:
             rows = {row["design"]: row["logical_error_rate"]
                     for row in table.rows

@@ -1,43 +1,48 @@
-"""Figure 15: logical error rate, Cyclone vs baseline, hypergraph product codes.
+"""Figure 15: logical error rate, Cyclone vs baseline, HGP codes.
 
 Paper series: LER vs physical error rate for each HGP code under the
 baseline grid (B) and Cyclone (C); Cyclone improves the LER by about two
 orders of magnitude and exhibits error correction across the whole
 tested p range while the baseline only does at lower p.
+
+Each (code, design) series is the matching ``physical_error`` sweep of
+the ``paper_figures_full`` campaign spec, run through its registered
+sweep kind; the benchmark only trims the p grid and the Monte-Carlo
+budget.
 """
+
+from dataclasses import replace
 
 import pytest
 
-from repro.codes import code_by_name
-from repro.core import codesign_by_name, logical_error_rate
+from repro.campaign import builtin_spec, run_sweep_kind
 from repro.core.results import ResultTable
 
-HGP_CODES = ["HGP [[225,9,6]]", "HGP [[400,16,6]]"]
+SWEEPS = {  # (code, design label) -> paper_figures_full sweep name
+    ("HGP [[225,9,6]]", "B"): "fig15_hgp225_baseline",
+    ("HGP [[225,9,6]]", "C"): "fig15_hgp225_cyclone",
+    ("HGP [[400,16,6]]", "B"): "fig15_hgp400_baseline",
+    ("HGP [[400,16,6]]", "C"): "fig15_hgp400_cyclone",
+}
 PHYSICAL_ERROR_RATES = [3e-4, 1e-3]
+
+
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
 
 
 def _hgp_ler_table(shots: int, rounds: int) -> ResultTable:
     table = ResultTable(
         title="Fig. 15 — LER: Cyclone (C) vs baseline (B) on HGP codes",
         columns=["code", "design", "p", "round_latency_us",
-                 "logical_error_rate", "ler_per_round"],
+                 "logical_error_rate"],
     )
-    for code_name in HGP_CODES:
-        code = code_by_name(code_name)
-        latencies = {
-            "B": codesign_by_name("baseline").compile(code).execution_time_us,
-            "C": codesign_by_name("cyclone").compile(code).execution_time_us,
-        }
-        for p in PHYSICAL_ERROR_RATES:
-            for design, latency in latencies.items():
-                result = logical_error_rate(code, p, latency, shots=shots,
-                                            rounds=rounds, seed=19)
-                table.add_row(
-                    code=code_name, design=design, p=p,
-                    round_latency_us=latency,
-                    logical_error_rate=result.logical_error_rate,
-                    ler_per_round=result.logical_error_rate_per_round,
-                )
+    for (code_name, design), sweep_name in SWEEPS.items():
+        sweep = replace(_spec_sweep(sweep_name), rounds=rounds,
+                        physical_error_rates=tuple(PHYSICAL_ERROR_RATES))
+        for row in run_sweep_kind(sweep, shots=shots, seed=19).rows:
+            table.add_row(code=code_name, design=design, **row)
     return table
 
 
@@ -50,7 +55,7 @@ def test_fig15_hgp_logical_error_rates(benchmark, report, bench_shots,
     )
     report(table)
 
-    for code_name in HGP_CODES:
+    for code_name in {code for code, _ in SWEEPS}:
         for p in PHYSICAL_ERROR_RATES:
             rows = {row["design"]: row["logical_error_rate"]
                     for row in table.rows

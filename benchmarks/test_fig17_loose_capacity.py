@@ -3,25 +3,28 @@
 Paper message: giving the baseline grid extra ion capacity (beyond the
 default of 5) yields negligible improvement — the baseline is limited by
 roadblocks, not by architectural tightness.
+
+The table comes straight from the ``fig17_loose_capacity`` sweep of the
+``paper_figures_full`` campaign spec, run through its registered sweep
+kind — the benchmark only rescales the Monte-Carlo budget.
 """
 
-from repro.analysis import loose_capacity_sensitivity
-from repro.codes import code_by_name
+from dataclasses import replace
+
+from repro.campaign import builtin_spec, run_sweep_kind
+
+
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
 
 
 def test_fig17_loose_trap_capacity(benchmark, report, bench_shots,
                                    bench_rounds):
-    code = code_by_name("HGP [[225,9,6]]")
+    sweep = replace(_spec_sweep("fig17_loose_capacity"), rounds=bench_rounds)
     table = benchmark.pedantic(
-        loose_capacity_sensitivity,
-        kwargs={
-            "code": code,
-            "capacities": (5, 8, 12),
-            "physical_error_rate": 1e-4,
-            "shots": bench_shots,
-            "rounds": bench_rounds,
-            "seed": 23,
-        },
+        run_sweep_kind, args=(sweep,),
+        kwargs={"shots": bench_shots, "seed": 23},
         rounds=1, iterations=1,
     )
     report(table)

@@ -3,25 +3,28 @@
 Paper message: as operation times improve by a fraction r, both the
 baseline and Cyclone improve and the gap between them narrows, because
 the code's own error-correcting ability becomes the limiting factor.
+
+The table comes straight from the ``fig18_operation_time`` sweep of the
+``paper_figures_full`` campaign spec, run through its registered sweep
+kind — the benchmark only rescales the Monte-Carlo budget.
 """
 
-from repro.analysis import operation_time_sensitivity
-from repro.codes import code_by_name
+from dataclasses import replace
+
+from repro.campaign import builtin_spec, run_sweep_kind
+
+
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
 
 
 def test_fig18_operation_time_reduction(benchmark, report, bench_shots,
                                         bench_rounds):
-    code = code_by_name("HGP [[225,9,6]]")
+    sweep = replace(_spec_sweep("fig18_operation_time"), rounds=bench_rounds)
     table = benchmark.pedantic(
-        operation_time_sensitivity,
-        kwargs={
-            "code": code,
-            "reductions": (0.0, 0.5, 0.75),
-            "physical_error_rate": 1e-4,
-            "shots": bench_shots,
-            "rounds": bench_rounds,
-            "seed": 29,
-        },
+        run_sweep_kind, args=(sweep,),
+        kwargs={"shots": bench_shots, "seed": 29},
         rounds=1, iterations=1,
     )
     report(table)

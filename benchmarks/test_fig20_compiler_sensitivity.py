@@ -4,15 +4,22 @@ Paper series (left): total execution time and unrolled component-wise
 execution times for three baseline compilers on the same architecture;
 (right): the achieved % parallelization.  Cyclone's coordinated schedule
 achieves the highest parallelization of all.
+
+The table comes straight from the ``fig20_compilers`` sweep of the
+``paper_figures_full`` campaign spec (an analytic kind — no sampling).
 """
 
-from repro.analysis import compiler_comparison
-from repro.codes import code_by_name
+from repro.campaign import builtin_spec, run_sweep_kind
+
+
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
 
 
 def test_fig20_compiler_sensitivity(benchmark, report):
-    code = code_by_name("HGP [[225,9,6]]")
-    table = benchmark.pedantic(compiler_comparison, args=(code,), rounds=1,
+    sweep = _spec_sweep("fig20_compilers")
+    table = benchmark.pedantic(run_sweep_kind, args=(sweep,), rounds=1,
                                iterations=1)
     report(table)
 

@@ -3,15 +3,22 @@
 Paper message: the baseline tends to do better with IonSWAP while
 Cyclone does better with GateSWAP, and Cyclone keeps a convincing
 speedup under either swap implementation.
+
+The table comes straight from the ``fig21_swap`` sweep of the
+``paper_figures_full`` campaign spec (an analytic kind — no sampling).
 """
 
-from repro.analysis import swap_kind_sensitivity
-from repro.codes import code_by_name
+from repro.campaign import builtin_spec, run_sweep_kind
+
+
+def _spec_sweep(name: str):
+    spec = builtin_spec("paper_figures_full")
+    return next(sweep for sweep in spec.sweeps if sweep.name == name)
 
 
 def test_fig21_ion_vs_gate_swap(benchmark, report):
-    code = code_by_name("HGP [[225,9,6]]")
-    table = benchmark.pedantic(swap_kind_sensitivity, args=(code,), rounds=1,
+    sweep = _spec_sweep("fig21_swap")
+    table = benchmark.pedantic(run_sweep_kind, args=(sweep,), rounds=1,
                                iterations=1)
     report(table)
 

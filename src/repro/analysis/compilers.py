@@ -5,12 +5,17 @@ variant and a move-batching variant) are run on the same baseline grid
 architecture; the figure reports both the realized execution time, the
 fully serialized ("unrolled") component-wise times and the achieved
 parallelization, with Cyclone shown for contrast.
+
+The table itself comes from the registered ``compiler_comparison``
+sweep kind (:mod:`repro.campaign.kinds`), so the same comparison also
+runs inside the ``paper_figures_full`` campaign spec.
 """
 
 from __future__ import annotations
 
+from repro.campaign.kinds import run_sweep_kind
+from repro.campaign.spec import SweepSpec
 from repro.codes.css import CSSCode
-from repro.core.codesign import codesign_by_name
 from repro.core.results import ResultTable
 
 __all__ = ["compiler_comparison"]
@@ -21,27 +26,7 @@ _COMPILERS = ("baseline", "baseline2", "baseline3", "cyclone")
 def compiler_comparison(code: CSSCode,
                         compilers: tuple[str, ...] = _COMPILERS) -> ResultTable:
     """Execution time, unrolled components and parallelization per compiler."""
-    table = ResultTable(
-        title=f"Fig. 20 — compiler sensitivity ({code.name})",
-        columns=["compiler", "execution_time_us", "unrolled_total_us",
-                 "unrolled_gate_us", "unrolled_shuttle_us",
-                 "unrolled_measurement_us", "parallelization_fraction"],
-    )
-    for name in compilers:
-        compiled = codesign_by_name(name).compile(code)
-        breakdown = compiled.component_breakdown()
-        shuttle = sum(
-            breakdown.get(key, 0.0)
-            for key in ("split", "move", "junction_cross", "merge",
-                        "rebalance", "swap")
-        )
-        table.add_row(
-            compiler=name,
-            execution_time_us=compiled.execution_time_us,
-            unrolled_total_us=compiled.serialized_time_us,
-            unrolled_gate_us=breakdown.get("gate", 0.0),
-            unrolled_shuttle_us=shuttle,
-            unrolled_measurement_us=breakdown.get("measurement", 0.0),
-            parallelization_fraction=compiled.parallelization_fraction,
-        )
-    return table
+    sweep = SweepSpec(name="compiler_comparison", code=code.name,
+                      kind="compiler_comparison",
+                      params={"compilers": list(compilers)})
+    return run_sweep_kind(sweep, code=code)

@@ -10,19 +10,27 @@ process pool shared by all of the sweep's points, and ``pool=`` (a
 *other* sweeps — a campaign running several sensitivity studies spawns
 one set of worker processes for all of them.  Results are bit-identical
 for any worker count, pooled or not.
+
+These functions are thin wrappers now: each builds a
+:class:`~repro.campaign.spec.SweepSpec` for its registered sweep kind
+(:mod:`repro.campaign.kinds`) and runs it through
+:func:`~repro.campaign.kinds.run_sweep_kind`, which reproduces the
+original bespoke loop bit for bit (one
+:class:`~repro.core.memory.MemoryExperiment` per sweep, one run per
+point in row order).  The same kinds power the ``paper_figures_full``
+campaign spec, where every figure shares one global budget and one
+result store.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.campaign.kinds import run_sweep_kind
+from repro.campaign.spec import SweepSpec
 from repro.codes.css import CSSCode
-from repro.core.codesign import codesign_by_name
-from repro.core.memory import MemoryExperiment
 from repro.core.results import ResultTable
 from repro.parallel.pipeline import SharedPool
-from repro.qccd.compilers import CycloneCompiler, EJFGridCompiler
-from repro.qccd.timing import OperationTimes, SwapKind
 
 __all__ = [
     "depth_speedup_ler",
@@ -34,28 +42,18 @@ __all__ = [
 ]
 
 
-def _sweep_experiment(code: CSSCode, rounds: int | None, seed: int,
-                      workers: int = 1,
-                      pool: SharedPool | None = None) -> MemoryExperiment:
-    """One experiment per sweep: the space-time structure, decoder graph
-    and (for ``workers > 1``) the fused-pipeline worker pool are cached
-    inside it, so successive operating points only refresh priors
-    instead of rebuilding identical decoders or respawning processes.
-    Use as a context manager so the pool is released when the sweep
-    ends (an externally owned ``pool=`` survives that release)."""
-    return MemoryExperiment(code=code, rounds=rounds, seed=seed,
-                            workers=workers, pool=pool)
-
-
-def _ler(experiment: MemoryExperiment, physical_error_rate: float,
-         latency_us: float, shots: int, target_precision=None,
-         max_shots: int | None = None) -> float:
-    """One streamed LER estimate; ``target_precision`` stops the point
-    early once its Wilson half-width is tight enough (deterministic —
-    see :mod:`repro.parallel.pipeline`), ``max_shots`` caps the budget."""
-    return experiment.run(physical_error_rate, latency_us, shots=shots,
+def _run(kind: str, code: CSSCode, params: dict,
+         physical_error_rate: float | None, shots: int,
+         rounds: int | None, seed: int, workers: int,
+         target_precision, max_shots: int | None,
+         pool: SharedPool | None) -> ResultTable:
+    sweep = SweepSpec(name=kind, code=code.name, kind=kind,
+                      physical_error_rate=physical_error_rate,
+                      params=params, rounds=rounds)
+    return run_sweep_kind(sweep, code=code, shots=shots, seed=seed,
+                          workers=workers, pool=pool,
                           target_precision=target_precision,
-                          max_shots=max_shots).logical_error_rate
+                          max_shots=max_shots)
 
 
 def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
@@ -70,24 +68,9 @@ def depth_speedup_ler(code: CSSCode, physical_error_rate: float = 5e-4,
     The baseline grid schedule is compiled once; its latency is then
     scaled by each speedup factor before the memory experiment runs.
     """
-    baseline = codesign_by_name("baseline").compile(code)
-    latency = baseline.execution_time_us
-    table = ResultTable(
-        title=f"Fig. 5 — LER vs baseline depth speedup ({code.name}, "
-              f"p={physical_error_rate:g})",
-        columns=["speedup", "round_latency_us", "logical_error_rate"],
-    )
-    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
-        for speedup in speedups:
-            scaled = latency / speedup
-            table.add_row(
-                speedup=speedup,
-                round_latency_us=scaled,
-                logical_error_rate=_ler(experiment, physical_error_rate,
-                                        scaled, shots,
-                                        target_precision, max_shots),
-            )
-    return table
+    return _run("depth_speedup", code, {"speedups": list(speedups)},
+                physical_error_rate, shots, rounds, seed, workers,
+                target_precision, max_shots, pool)
 
 
 def junction_crossing_sensitivity(code: CSSCode,
@@ -105,33 +88,10 @@ def junction_crossing_sensitivity(code: CSSCode,
     The baseline grid row is included as the reference the mesh must
     beat (the paper finds the crossover near a 70% reduction).
     """
-    table = ResultTable(
-        title=f"Fig. 9 — junction crossing sensitivity ({code.name}, "
-              f"p={physical_error_rate:g})",
-        columns=["design", "junction_reduction", "execution_time_us",
-                 "logical_error_rate"],
-    )
-    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
-        baseline = codesign_by_name("baseline").compile(code)
-        table.add_row(
-            design="baseline_grid", junction_reduction=0.0,
-            execution_time_us=baseline.execution_time_us,
-            logical_error_rate=_ler(experiment, physical_error_rate,
-                                    baseline.execution_time_us, shots,
-                                    target_precision, max_shots),
-        )
-        for reduction in reductions:
-            times = OperationTimes(junction_improvement_factor=reduction)
-            mesh = codesign_by_name("mesh_junction",
-                                    times=times).compile(code)
-            table.add_row(
-                design="mesh_junction", junction_reduction=reduction,
-                execution_time_us=mesh.execution_time_us,
-                logical_error_rate=_ler(experiment, physical_error_rate,
-                                        mesh.execution_time_us, shots,
-                                        target_precision, max_shots),
-            )
-    return table
+    return _run("junction_crossing", code,
+                {"reductions": list(reductions)}, physical_error_rate,
+                shots, rounds, seed, workers, target_precision, max_shots,
+                pool)
 
 
 def trap_arrangement_sensitivity(code: CSSCode,
@@ -152,34 +112,12 @@ def trap_arrangement_sensitivity(code: CSSCode,
     (and painfully slow gates), the base form ``x = m/2`` is the
     sparsest, and the optimum usually sits in between.
     """
-    m_basis = max(code.num_x_stabilizers, code.num_z_stabilizers)
-    if trap_counts is None:
-        trap_counts = sorted({1, 9, 25, 64, m_basis // 2, m_basis})
-    table = ResultTable(
-        title=f"Fig. 13 — Cyclone trap/ion arrangement sensitivity "
-              f"({code.name}, p={physical_error_rate:g})",
-        columns=["num_traps", "trap_capacity", "chain_length",
-                 "execution_time_us", "logical_error_rate"],
-    )
-    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
-        for x in trap_counts:
-            x = max(1, min(int(x), m_basis)) if m_basis else 1
-            compiled = CycloneCompiler(num_traps=x).compile(code)
-            row = {
-                "num_traps": x,
-                "trap_capacity": compiled.metadata["trap_capacity"],
-                "chain_length": compiled.metadata["chain_length"],
-                "execution_time_us": compiled.execution_time_us,
-                "logical_error_rate": float("nan"),
-            }
-            if include_ler:
-                row["logical_error_rate"] = _ler(
-                    experiment, physical_error_rate,
-                    compiled.execution_time_us, shots,
-                    target_precision, max_shots,
-                )
-            table.add_row(**row)
-    return table
+    params = {"include_ler": include_ler}
+    if trap_counts is not None:
+        params["trap_counts"] = list(trap_counts)
+    return _run("trap_arrangement", code, params, physical_error_rate,
+                shots, rounds, seed, workers, target_precision, max_shots,
+                pool)
 
 
 def loose_capacity_sensitivity(code: CSSCode,
@@ -195,22 +133,9 @@ def loose_capacity_sensitivity(code: CSSCode,
     The paper finds negligible improvement, confirming the baseline is
     limited by roadblocks rather than by capacity pressure.
     """
-    table = ResultTable(
-        title=f"Fig. 17 — baseline sensitivity to loose trap capacity "
-              f"({code.name}, p={physical_error_rate:g})",
-        columns=["trap_capacity", "execution_time_us", "logical_error_rate"],
-    )
-    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
-        for capacity in capacities:
-            compiled = EJFGridCompiler(trap_capacity=capacity).compile(code)
-            table.add_row(
-                trap_capacity=capacity,
-                execution_time_us=compiled.execution_time_us,
-                logical_error_rate=_ler(experiment, physical_error_rate,
-                                        compiled.execution_time_us, shots,
-                                        target_precision, max_shots),
-            )
-    return table
+    return _run("loose_capacity", code, {"capacities": list(capacities)},
+                physical_error_rate, shots, rounds, seed, workers,
+                target_precision, max_shots, pool)
 
 
 def operation_time_sensitivity(code: CSSCode,
@@ -228,27 +153,9 @@ def operation_time_sensitivity(code: CSSCode,
     operation times; as r grows the gap closes because the code's own
     error-correcting ability becomes the limiting factor.
     """
-    table = ResultTable(
-        title=f"Fig. 18 — gate/shuttle time reduction sensitivity "
-              f"({code.name}, p={physical_error_rate:g})",
-        columns=["reduction", "design", "execution_time_us",
-                 "logical_error_rate"],
-    )
-    with _sweep_experiment(code, rounds, seed, workers, pool) as experiment:
-        for reduction in reductions:
-            times = OperationTimes(improvement_factor=reduction)
-            for design in ("baseline", "cyclone"):
-                compiled = codesign_by_name(design, times=times).compile(code)
-                table.add_row(
-                    reduction=reduction,
-                    design=design,
-                    execution_time_us=compiled.execution_time_us,
-                    logical_error_rate=_ler(experiment, physical_error_rate,
-                                            compiled.execution_time_us,
-                                            shots, target_precision,
-                                            max_shots),
-                )
-    return table
+    return _run("operation_time", code, {"reductions": list(reductions)},
+                physical_error_rate, shots, rounds, seed, workers,
+                target_precision, max_shots, pool)
 
 
 def swap_kind_sensitivity(code: CSSCode,
@@ -260,18 +167,6 @@ def swap_kind_sensitivity(code: CSSCode,
     IonSWAP and Cyclone GateSWAP, with Cyclone keeping its advantage
     either way.
     """
-    table = ResultTable(
-        title=f"Fig. 21 — IonSWAP vs GateSWAP sensitivity ({code.name})",
-        columns=["design", "swap_kind", "execution_time_us"],
-    )
-    for swap_kind in (SwapKind.GATE_SWAP, SwapKind.ION_SWAP):
-        times = OperationTimes(swap_kind=swap_kind)
-        for design in ("baseline", "cyclone"):
-            compiled = codesign_by_name(design, times=times).compile(code)
-            table.add_row(
-                design=design,
-                swap_kind=swap_kind.value,
-                execution_time_us=compiled.execution_time_us,
-            )
     del interaction_distance
-    return table
+    sweep = SweepSpec(name="swap_kind", code=code.name, kind="swap_kind")
+    return run_sweep_kind(sweep, code=code)

@@ -10,11 +10,40 @@ store (:class:`ResultStore`) makes re-runs free and interruption safe:
 completed points are keyed by a content fingerprint of their
 parameters and are reused bit-identically instead of re-sampled.
 
-See ``docs/campaigns.md`` for the spec format, budget semantics and
-resume guarantees, and ``repro campaign --help`` for the CLI.
+What a sweep computes is pluggable: every figure of the evaluation is a
+registered **sweep kind** (:mod:`repro.campaign.kinds` —
+:func:`register_kind`, :func:`run_sweep_kind`), including the
+randomized differential-testing ``scenario_sweep`` kind
+(:mod:`repro.campaign.scenarios`), which cross-checks generated
+scenarios bit-for-bit against a reference-backend oracle and minimizes
+any mismatch to a replayable JSON file.
+
+See ``docs/campaigns.md`` for the spec format, budget semantics, resume
+guarantees and the kind registry, and ``repro campaign --help`` for the
+CLI.
 """
 
+from repro.campaign.kinds import (
+    ExpandedPoint,
+    KindParam,
+    OracleCheck,
+    SweepKind,
+    available_kinds,
+    kind_by_name,
+    kind_params,
+    register_kind,
+    run_sweep_kind,
+)
 from repro.campaign.orchestrator import CampaignResult, run_campaign
+from repro.campaign.scenarios import (
+    Scenario,
+    ScenarioMismatch,
+    generate_scenario,
+    load_scenario,
+    minimize_scenario,
+    run_scenario,
+    write_failure_scenario,
+)
 from repro.campaign.spec import (
     CampaignSpec,
     SweepSpec,
@@ -27,11 +56,27 @@ from repro.campaign.store import ResultStore, fingerprint
 __all__ = [
     "CampaignResult",
     "CampaignSpec",
+    "ExpandedPoint",
+    "KindParam",
+    "OracleCheck",
     "ResultStore",
+    "Scenario",
+    "ScenarioMismatch",
+    "SweepKind",
     "SweepSpec",
+    "available_kinds",
     "available_specs",
     "builtin_spec",
     "fingerprint",
+    "generate_scenario",
+    "kind_by_name",
+    "kind_params",
+    "load_scenario",
     "load_spec",
+    "minimize_scenario",
+    "register_kind",
     "run_campaign",
+    "run_scenario",
+    "run_sweep_kind",
+    "write_failure_scenario",
 ]

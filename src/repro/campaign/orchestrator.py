@@ -11,12 +11,30 @@ so a one-sweep campaign allocates exactly like
 :func:`repro.core.sweep.sweep_physical_error` (the degeneracy the
 property tests pin down).
 
+What a sweep *means* is delegated to the sweep-kind registry
+(:mod:`repro.campaign.kinds`): each kind expands its spec into
+:class:`~repro.campaign.kinds.ExpandedPoint` entries — the static table
+cells, the operating point, optional per-point overrides (own code,
+rounds, backend, budget pins) and an optional differential-oracle
+check.  Points with ``sampled=False`` (the analytic compiler/swap
+tables) appear in the result tables but never touch the budget or the
+store.  Points carrying an :class:`~repro.campaign.kinds.OracleCheck`
+(the ``scenario_sweep`` kind) are re-run after every sampling stage on
+the reference backend with ``workers=1`` and must match bit for bit —
+a mismatch minimizes the scenario to a replayable JSON file and raises
+:class:`~repro.campaign.scenarios.ScenarioMismatch`.  Oracle re-runs
+are a *check*, not an estimate, so their shots do not count against
+the campaign budget.
+
 Determinism and resume
 ----------------------
 Every point samples from seeds derived as
 ``SeedSequence(entropy=spec.seed, spawn_key=(sweep_index, point_index,
 stage))`` — a pure function of the spec, never of execution order — so
 a point's tally does not depend on which other points ran before it.
+(Points that carry their own entropy — a scenario's stored seed — use
+``SeedSequence(entropy=point_entropy, spawn_key=(stage,))`` instead, so
+the stored scenario file replays identically outside the campaign.)
 Completed points are appended to a :class:`~repro.campaign.store.ResultStore`
 the moment the campaign finalises them; a re-run against the same store
 reuses every record (zero shots sampled) and re-renders the identical
@@ -36,15 +54,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign.kinds import ExpandedPoint, OracleCheck, kind_by_name
+from repro.campaign.scenarios import report_scenario_mismatch
 from repro.campaign.spec import CampaignSpec, SweepSpec
 from repro.campaign.store import ResultStore, fingerprint
 from repro.codes import code_by_name
-from repro.core.codesign import codesign_by_name
 from repro.core.memory import MemoryExperiment, effective_rounds
 from repro.core.results import PRECISION_COLUMNS, ResultTable
 from repro.core.stats import PrecisionTarget
 from repro.core.sweep import (
     AdaptivePoint,
+    default_pilot_shots,
     run_adaptive_refine,
     tally_point_fields,
 )
@@ -52,11 +72,6 @@ from repro.parallel.pipeline import SharedPool
 from repro.parallel.sharded import resolve_workers
 
 __all__ = ["CampaignResult", "run_campaign"]
-
-#: Pilot sizing mirrors the single-sweep scheduler: a quarter of the
-#: per-point budget share, clamped to [32, 512].
-_MIN_PILOT_SHOTS = 32
-_MAX_PILOT_SHOTS = 512
 
 
 def _point_seed(seed: int, sweep_index: int, point_index: int,
@@ -70,12 +85,13 @@ def _point_seed(seed: int, sweep_index: int, point_index: int,
 
 @dataclass
 class _CampaignPoint:
-    """One estimation point, expanded from a sweep spec."""
+    """One estimation point, expanded from a sweep spec via its kind."""
 
     sweep_index: int
     point_index: int
     sweep: SweepSpec
-    codesign: str
+    row: dict
+    sampled: bool
     physical_error_rate: float
     round_latency_us: float
     rounds: int
@@ -84,6 +100,15 @@ class _CampaignPoint:
     pilot: int
     key: str
     params: dict
+    code: object = None
+    basis: str = "Z"
+    backend: str = "packed"
+    shard_shots: int | None = None
+    max_bp_iterations: int = 40
+    osd_order: int = 0
+    experiment_key: str = ""
+    seed_entropy: int | None = None
+    oracle: OracleCheck | None = None
     tally: list[int] = field(default_factory=lambda: [0, 0])
     reused: bool = False
 
@@ -99,7 +124,9 @@ class CampaignResult:
     ``shots_sampled`` counts fresh Monte-Carlo work this run performed;
     ``shots_reused`` counts tallies served by the result store.  Their
     sum never exceeds ``budget`` (store records count against the
-    budget exactly as they did when first sampled).
+    budget exactly as they did when first sampled).  ``points_total``
+    and ``targets_met`` count *sampled* points only — analytic rows
+    (``compiler_comparison``, ``swap_kind``) have no budget story.
     """
 
     spec: CampaignSpec
@@ -128,7 +155,8 @@ class CampaignResult:
         for sweep, sweep_table in zip(self.spec.sweeps, self.tables):
             table.add_row(
                 sweep=sweep.name, points=sweep.num_points,
-                shots_used=sum(sweep_table.column("shots_used")),
+                shots_used=sum(row.get("shots_used", 0) or 0
+                               for row in sweep_table.rows),
                 targets_met=sum(
                     1 for row in sweep_table.rows
                     if sweep.target.met(row.get("failures", 0),
@@ -154,59 +182,97 @@ class CampaignResult:
 
 def _expand_points(spec: CampaignSpec, budget: int,
                    campaign_fp: str) -> list[_CampaignPoint]:
-    """Expand the spec into concrete points (latencies compiled here)."""
+    """Expand the spec via each sweep's kind (latencies compiled here).
+
+    The store key of a sampled point fingerprints everything that
+    shapes its tally: the campaign fingerprint, the point's position,
+    its full experiment configuration and the kind-specific parameters
+    the expansion attached.  Unsampled points get no key (they never
+    reach the store).
+    """
     points = []
     per_point = max(1, budget // max(1, spec.num_points))
     for sweep_index, sweep in enumerate(spec.sweeps):
-        code = code_by_name(sweep.code)
-        rounds = effective_rounds(code, sweep.rounds)
-        cap = sweep.max_shots if sweep.max_shots is not None else budget
-        cap = max(1, min(int(cap), budget))
+        kind = kind_by_name(sweep.kind)
+        code = code_by_name(sweep.code) if kind.needs_code else None
+        cap_default = (sweep.max_shots if sweep.max_shots is not None
+                       else budget)
+        cap_default = max(1, min(int(cap_default), budget))
         if sweep.pilot_shots is not None:
-            pilot = max(1, int(sweep.pilot_shots))
+            pilot_default = max(1, int(sweep.pilot_shots))
         else:
-            pilot = max(_MIN_PILOT_SHOTS,
-                        min(per_point // 4, _MAX_PILOT_SHOTS))
-        pilot = min(pilot, cap)
-        if sweep.kind == "physical_error":
-            latency = codesign_by_name(sweep.codesign).compile(
-                code).execution_time_us
-            expanded = [(sweep.codesign, p, latency)
-                        for p in sweep.physical_error_rates]
-        else:
-            expanded = [
-                (name, sweep.physical_error_rate,
-                 codesign_by_name(name).compile(code).execution_time_us)
-                for name in sweep.codesigns
-            ]
-        for point_index, (codesign, p, latency) in enumerate(expanded):
+            pilot_default = default_pilot_shots(per_point)
+        for point_index, expanded in enumerate(kind.expand(sweep, code)):
+            point_code = (expanded.code if expanded.code is not None
+                          else code)
+            rounds = effective_rounds(
+                point_code,
+                expanded.rounds if expanded.rounds is not None
+                else sweep.rounds) if point_code is not None else 1
+            basis = (expanded.basis if expanded.basis is not None
+                     else sweep.basis)
+            backend = (expanded.backend if expanded.backend is not None
+                       else sweep.backend)
+            shard_shots = (expanded.shard_shots
+                           if expanded.shard_shots is not None
+                           else sweep.shard_shots)
+            max_bp = (expanded.max_bp_iterations
+                      if expanded.max_bp_iterations is not None
+                      else sweep.max_bp_iterations)
+            osd = (expanded.osd_order if expanded.osd_order is not None
+                   else sweep.osd_order)
+            if not expanded.sampled:
+                points.append(_CampaignPoint(
+                    sweep_index=sweep_index, point_index=point_index,
+                    sweep=sweep, row=dict(expanded.row), sampled=False,
+                    physical_error_rate=expanded.physical_error_rate,
+                    round_latency_us=expanded.round_latency_us,
+                    rounds=rounds, target=sweep.target, cap=0, pilot=0,
+                    key="", params={},
+                ))
+                continue
+            cap = cap_default
+            if expanded.cap is not None:
+                cap = max(1, min(int(expanded.cap), budget))
+            pilot = (pilot_default if expanded.pilot is None
+                     else max(1, int(expanded.pilot)))
+            pilot = min(pilot, cap)
             params = {
                 "campaign": campaign_fp,
                 "sweep": sweep.name,
+                "kind": sweep.kind,
                 "sweep_index": sweep_index,
                 "point_index": point_index,
-                "code": sweep.code,
-                "codesign": codesign,
+                "code": point_code.name if point_code is not None else "",
                 "method": sweep.method,
-                "basis": sweep.basis,
-                "backend": sweep.backend,
+                "basis": basis,
+                "backend": backend,
                 "rounds": rounds,
-                "shard_shots": sweep.shard_shots,
-                "max_bp_iterations": sweep.max_bp_iterations,
-                "osd_order": sweep.osd_order,
-                "physical_error_rate": p,
-                "round_latency_us": latency,
+                "shard_shots": shard_shots,
+                "max_bp_iterations": max_bp,
+                "osd_order": osd,
+                "physical_error_rate": expanded.physical_error_rate,
+                "round_latency_us": expanded.round_latency_us,
                 "target": sweep.target.to_dict(),
                 "cap": cap,
                 "pilot": pilot,
-                "seed": spec.seed,
+                "seed": (expanded.seed_entropy
+                         if expanded.seed_entropy is not None
+                         else spec.seed),
             }
+            params.update(expanded.params)
             points.append(_CampaignPoint(
                 sweep_index=sweep_index, point_index=point_index,
-                sweep=sweep, codesign=codesign, physical_error_rate=p,
-                round_latency_us=latency, rounds=rounds,
-                target=sweep.target, cap=cap, pilot=pilot,
+                sweep=sweep, row=dict(expanded.row), sampled=True,
+                physical_error_rate=expanded.physical_error_rate,
+                round_latency_us=expanded.round_latency_us,
+                rounds=rounds, target=sweep.target, cap=cap, pilot=pilot,
                 key=fingerprint(params), params=params,
+                code=point_code, basis=basis, backend=backend,
+                shard_shots=shard_shots, max_bp_iterations=max_bp,
+                osd_order=osd, experiment_key=expanded.experiment_key,
+                seed_entropy=expanded.seed_entropy,
+                oracle=expanded.oracle,
             ))
     return points
 
@@ -215,33 +281,27 @@ def _build_tables(spec: CampaignSpec,
                   points: list[_CampaignPoint]) -> list[ResultTable]:
     tables = []
     for sweep_index, sweep in enumerate(spec.sweeps):
+        kind = kind_by_name(sweep.kind)
         sweep_points = [point for point in points
                         if point.sweep_index == sweep_index]
-        if sweep.kind == "physical_error":
-            table = ResultTable(
-                title=f"{spec.name} / {sweep.name}: {sweep.code} "
-                      f"({sweep.codesign})",
-                columns=["p", "round_latency_us", "failures",
-                         "logical_error_rate", "ler_per_round"]
-                + PRECISION_COLUMNS,
-            )
-            for point in sweep_points:
-                table.add_row(p=point.physical_error_rate,
-                              round_latency_us=point.round_latency_us,
-                              **point.fields())
-        else:
-            table = ResultTable(
-                title=f"{spec.name} / {sweep.name}: {sweep.code} "
-                      f"(p={sweep.physical_error_rate:g})",
-                columns=["codesign", "execution_time_us", "p", "failures",
-                         "logical_error_rate", "ler_per_round"]
-                + PRECISION_COLUMNS,
-            )
-            for point in sweep_points:
-                table.add_row(codesign=point.codesign,
-                              execution_time_us=point.round_latency_us,
-                              p=point.physical_error_rate,
-                              **point.fields())
+        columns = list(kind.static_columns(sweep))
+        any_sampled = any(point.sampled for point in sweep_points)
+        if kind.sampled and any_sampled:
+            columns += (["failures", "logical_error_rate", "ler_per_round"]
+                        + PRECISION_COLUMNS)
+        elif kind.sampled:
+            columns += ["logical_error_rate"]
+        table = ResultTable(
+            title=f"{spec.name} / {sweep.name}: {kind.title(sweep)}",
+            columns=columns,
+        )
+        for point in sweep_points:
+            row = dict(point.row)
+            if point.sampled:
+                row.update(point.fields())
+            elif kind.sampled:
+                row["logical_error_rate"] = float("nan")
+            table.add_row(**row)
         tables.append(table)
     return tables
 
@@ -271,9 +331,10 @@ def run_campaign(spec: CampaignSpec,
         store = ResultStore(store)
 
     points = _expand_points(spec, effective_budget, campaign_fp)
+    sampled_points = [point for point in points if point.sampled]
 
     shots_reused = 0
-    for point in points:
+    for point in sampled_points:
         record = store.get(point.key) if store is not None else None
         if record is not None:
             point.tally = [int(record["failures"]), int(record["shots"])]
@@ -282,7 +343,7 @@ def run_campaign(spec: CampaignSpec,
 
     spent = shots_reused
     shots_sampled = 0
-    fresh = [point for point in points if not point.reused]
+    fresh = [point for point in sampled_points if not point.reused]
 
     # Interruption safety: flush a fresh point to the store the moment
     # it can no longer change — target met or per-point cap reached —
@@ -308,26 +369,37 @@ def run_campaign(spec: CampaignSpec,
         })
         stored_keys.add(point.key)
 
+    def seed_for(point: _CampaignPoint, stage: int) -> np.random.SeedSequence:
+        if point.seed_entropy is not None:
+            return np.random.SeedSequence(entropy=point.seed_entropy,
+                                          spawn_key=(int(stage),))
+        return _point_seed(spec.seed, point.sweep_index, point.point_index,
+                           stage)
+
     with ExitStack() as stack:
         pool = None
         worker_count = resolve_workers(workers)
         if worker_count > 1 and fresh:
             pool = stack.enter_context(SharedPool(worker_count))
-        experiments: dict[int, MemoryExperiment] = {}
+        experiments: dict = {}
 
-        def experiment_for(point: _CampaignPoint) -> MemoryExperiment:
-            experiment = experiments.get(point.sweep_index)
+        def experiment_for(point: _CampaignPoint,
+                           reference: str | None = None) -> MemoryExperiment:
+            key = (point.sweep_index, point.experiment_key, reference)
+            experiment = experiments.get(key)
             if experiment is None:
-                sweep = point.sweep
                 experiment = stack.enter_context(MemoryExperiment(
-                    code=code_by_name(sweep.code), rounds=sweep.rounds,
-                    basis=sweep.basis, method=sweep.method,
-                    max_bp_iterations=sweep.max_bp_iterations,
-                    osd_order=sweep.osd_order, seed=spec.seed,
-                    backend=sweep.backend, workers=worker_count,
-                    shard_shots=sweep.shard_shots, pool=pool,
+                    code=point.code, rounds=point.rounds,
+                    basis=point.basis, method=point.sweep.method,
+                    max_bp_iterations=point.max_bp_iterations,
+                    osd_order=point.osd_order, seed=spec.seed,
+                    backend=(reference if reference is not None
+                             else point.backend),
+                    workers=1 if reference is not None else worker_count,
+                    shard_shots=point.shard_shots,
+                    pool=None if reference is not None else pool,
                 ))
-                experiments[point.sweep_index] = experiment
+                experiments[key] = experiment
             return experiment
 
         def sample(point: _CampaignPoint, allocation: int,
@@ -336,9 +408,29 @@ def run_campaign(spec: CampaignSpec,
                 point.physical_error_rate, point.round_latency_us,
                 shots=allocation, target_precision=point.target,
                 prior_tally=prior,
-                seed=_point_seed(spec.seed, point.sweep_index,
-                                 point.point_index, stage),
+                seed=seed_for(point, stage),
             )
+            if point.oracle is not None:
+                # Identical sampling on the reference backend (workers=1,
+                # no pool); an equal-valued SeedSequence rebuilds the same
+                # shard tree, so the oracle re-draws the fast run's exact
+                # shots.  Oracle shots are a check, not an estimate —
+                # they never count against the campaign budget.
+                check = experiment_for(
+                    point, reference=point.oracle.reference,
+                ).run(point.physical_error_rate, point.round_latency_us,
+                      shots=allocation, target_precision=point.target,
+                      prior_tally=prior, seed=seed_for(point, stage))
+                if ((check.failures, check.shots)
+                        != (result.failures, result.shots)):
+                    report_scenario_mismatch(
+                        point.oracle.scenario, point.backend,
+                        point.oracle.reference, point.oracle.failure_dir,
+                        detail=(f"campaign {spec.name!r} sweep "
+                                f"{point.sweep.name!r} stage {stage}: "
+                                f"fast ({result.failures}, {result.shots}) "
+                                f"!= oracle ({check.failures}, "
+                                f"{check.shots})"))
             return result.failures, result.shots
 
         # Pilot: a streamed taste of every fresh point, in spec order.
@@ -381,14 +473,14 @@ def run_campaign(spec: CampaignSpec,
             flush(point, force=True)
 
     targets_met = sum(
-        1 for point in points if point.target.met(point.tally[0],
-                                                  point.tally[1]))
+        1 for point in sampled_points
+        if point.target.met(point.tally[0], point.tally[1]))
     return CampaignResult(
         spec=spec,
         tables=_build_tables(spec, points),
         budget=effective_budget,
-        points_total=len(points),
-        points_reused=len(points) - len(fresh),
+        points_total=len(sampled_points),
+        points_reused=len(sampled_points) - len(fresh),
         shots_sampled=shots_sampled,
         shots_reused=shots_reused,
         targets_met=targets_met,

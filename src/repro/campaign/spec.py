@@ -8,15 +8,29 @@ file next to the figures it reproduces, and a content fingerprint of
 the spec keys the resumable result store
 (:mod:`repro.campaign.store`).
 
-Two specs ship with the repository (:func:`builtin_spec`):
+A sweep's ``kind`` names an entry of the sweep-kind registry
+(:mod:`repro.campaign.kinds`) — each registered kind supplies its own
+expansion, table shape and parameter schema (the sweep's free-form
+``params`` mapping is validated against it).
+
+Four specs ship with the repository (:func:`builtin_spec`):
 
 ``paper_figures``
     The main LER curves: Figure 14 (bivariate bicycle) and Figure 15
     (hypergraph product), baseline vs Cyclone, each curve under a
     relative Wilson-width target.
+``paper_figures_full``
+    Every figure of the evaluation as one campaign: the LER curves
+    plus the migrated sensitivity studies (Figures 5, 9, 13, 17, 18)
+    and the analytic compiler/swap tables (Figures 20, 21), under one
+    global budget with full store-resume.
 ``ci_smoke``
     A two-sweep miniature on the smallest codes, sized for the CI
     resume check (seconds, not minutes).
+``scenario_fuzz``
+    A short seeded ``scenario_sweep``: randomized codes, trap
+    topologies and noise models, each cross-checked bit-for-bit
+    against the ``backend="bool"`` oracle.
 """
 
 from __future__ import annotations
@@ -25,9 +39,12 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.campaign.kinds import (
+    sweep_point_count,
+    validate_sweep,
+    validate_sweep_names,
+)
 from repro.campaign.store import fingerprint
-from repro.codes import available_codes
-from repro.core.codesign import available_codesigns
 from repro.core.stats import PrecisionTarget
 
 __all__ = [
@@ -38,30 +55,34 @@ __all__ = [
     "load_spec",
 ]
 
-_SWEEP_KINDS = ("physical_error", "architectures")
-
 
 @dataclass(frozen=True)
 class SweepSpec:
     """One sweep of a campaign: a curve of estimation points.
 
-    ``kind="physical_error"`` sweeps the physical error rate of one
-    ``codesign`` (one LER curve); ``kind="architectures"`` sweeps a
-    list of ``codesigns`` at one fixed ``physical_error_rate`` (an
-    architecture comparison).  ``target`` is the per-point precision
-    the campaign tries to reach before its global budget runs out;
-    ``max_shots`` caps any single point (default: the whole global
-    budget may concentrate on one point) and ``pilot_shots`` sizes the
-    pilot pass (default: derived from the per-point budget share).
+    ``kind`` names a registered sweep kind
+    (:func:`repro.campaign.kinds.available_kinds`):
+    ``"physical_error"`` sweeps the physical error rate of one
+    ``codesign`` (one LER curve); ``"architectures"`` sweeps a list of
+    ``codesigns`` at one fixed ``physical_error_rate``; the migrated
+    figure kinds (``depth_speedup``, ``junction_crossing``, ...) and
+    ``scenario_sweep`` take their knobs through the free-form
+    ``params`` mapping, validated against the kind's schema.
+    ``target`` is the per-point precision the campaign tries to reach
+    before its global budget runs out; ``max_shots`` caps any single
+    point (default: the whole global budget may concentrate on one
+    point) and ``pilot_shots`` sizes the pilot pass (default: derived
+    from the per-point budget share).
     """
 
     name: str
-    code: str
+    code: str = ""
     kind: str = "physical_error"
     codesign: str = "cyclone"
     physical_error_rates: tuple[float, ...] = ()
     codesigns: tuple[str, ...] = ()
     physical_error_rate: float | None = None
+    params: dict = field(default_factory=dict)
     target: PrecisionTarget = field(
         default_factory=lambda: PrecisionTarget(half_width=0.2,
                                                 relative=True))
@@ -78,32 +99,16 @@ class SweepSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("every sweep needs a name")
-        if self.kind not in _SWEEP_KINDS:
-            raise ValueError(f"kind must be one of {_SWEEP_KINDS}")
         if self.method not in ("phenomenological", "circuit"):
             raise ValueError("method must be 'phenomenological' or 'circuit'")
         if self.backend not in ("packed", "bool", "native"):
             raise ValueError("backend must be 'packed', 'bool' or 'native'")
-        if self.kind == "physical_error" and not self.physical_error_rates:
-            raise ValueError(
-                f"sweep {self.name!r}: physical_error sweeps need "
-                "physical_error_rates")
-        if self.kind == "architectures":
-            if not self.codesigns:
-                raise ValueError(
-                    f"sweep {self.name!r}: architectures sweeps need "
-                    "codesigns")
-            if self.physical_error_rate is None:
-                raise ValueError(
-                    f"sweep {self.name!r}: architectures sweeps need a "
-                    "physical_error_rate")
+        validate_sweep(self)
 
     # ------------------------------------------------------------------
     @property
     def num_points(self) -> int:
-        if self.kind == "physical_error":
-            return len(self.physical_error_rates)
-        return len(self.codesigns)
+        return sweep_point_count(self)
 
     def validate_names(self) -> None:
         """Check the code and codesign names against the registries.
@@ -111,15 +116,7 @@ class SweepSpec:
         Kept out of ``__post_init__`` so building a spec stays cheap;
         the orchestrator and the CLI call this before any real work.
         """
-        if self.code not in available_codes():
-            raise ValueError(f"sweep {self.name!r}: unknown code "
-                             f"{self.code!r}")
-        designs = ([self.codesign] if self.kind == "physical_error"
-                   else list(self.codesigns))
-        for design in designs:
-            if design not in available_codesigns():
-                raise ValueError(f"sweep {self.name!r}: unknown codesign "
-                                 f"{design!r}")
+        validate_sweep_names(self)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -144,15 +141,17 @@ class SweepSpec:
         else:
             payload["codesigns"] = list(self.codesigns)
             payload["physical_error_rate"] = self.physical_error_rate
+        if self.params:
+            payload["params"] = dict(self.params)
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SweepSpec":
         known = {
             "name", "code", "kind", "codesign", "physical_error_rates",
-            "codesigns", "physical_error_rate", "target", "rounds",
-            "method", "basis", "backend", "shard_shots", "max_shots",
-            "pilot_shots", "max_bp_iterations", "osd_order",
+            "codesigns", "physical_error_rate", "params", "target",
+            "rounds", "method", "basis", "backend", "shard_shots",
+            "max_shots", "pilot_shots", "max_bp_iterations", "osd_order",
         }
         unknown = set(payload) - known
         if unknown:
@@ -297,6 +296,122 @@ _BUILTIN_SPEC_DICTS: dict[str, dict] = {
                                  ("fig15_hgp225", "HGP [[225,9,6]]"))
             for label, codesign in (("baseline", "baseline"),
                                     ("cyclone", "cyclone"))
+        ],
+    },
+    "paper_figures_full": {
+        "name": "paper_figures_full",
+        "description": (
+            "Every figure of the evaluation as one campaign: the "
+            "Figure 14/15 LER curves (both code sizes, baseline vs "
+            "Cyclone), the migrated sensitivity studies (Figures 5, 9, "
+            "13, 17, 18) and the analytic compiler/swap tables "
+            "(Figures 20, 21), under one global shot budget with full "
+            "store-resume."
+        ),
+        "budget": 600_000,
+        "seed": 17,
+        "sweeps": [
+            {
+                "name": f"{figure}_{label}",
+                "code": code,
+                "kind": "physical_error",
+                "codesign": codesign,
+                "physical_error_rates": list(_FIGURE_RATES),
+                "target": {"half_width": 0.2, "relative": True,
+                           "confidence": 0.95},
+                "max_shots": 100_000,
+            }
+            for figure, code in (("fig14_bb72", "BB [[72,12,6]]"),
+                                 ("fig14_bb144", "BB [[144,12,12]]"),
+                                 ("fig15_hgp225", "HGP [[225,9,6]]"),
+                                 ("fig15_hgp400", "HGP [[400,16,6]]"))
+            for label, codesign in (("baseline", "baseline"),
+                                    ("cyclone", "cyclone"))
+        ] + [
+            {
+                "name": "fig05_depth_speedup",
+                "code": "HGP [[225,9,6]]",
+                "kind": "depth_speedup",
+                "physical_error_rate": 5e-4,
+                "params": {"speedups": [1.0, 2.0, 4.0]},
+                "target": {"half_width": 0.2, "relative": True,
+                           "confidence": 0.95},
+                "max_shots": 50_000,
+            },
+            {
+                "name": "fig09_junction",
+                "code": "HGP [[225,9,6]]",
+                "kind": "junction_crossing",
+                "physical_error_rate": 1e-4,
+                "params": {"reductions": [0.0, 0.3, 0.5, 0.7, 0.9]},
+                "target": {"half_width": 0.2, "relative": True,
+                           "confidence": 0.95},
+                "max_shots": 50_000,
+            },
+            {
+                "name": "fig13_trap_arrangement",
+                "code": "HGP [[225,9,6]]",
+                "kind": "trap_arrangement",
+                "physical_error_rate": 1e-4,
+                "params": {"trap_counts": [1, 9, 25, 64, 108]},
+                "target": {"half_width": 0.2, "relative": True,
+                           "confidence": 0.95},
+                "max_shots": 50_000,
+            },
+            {
+                "name": "fig17_loose_capacity",
+                "code": "HGP [[225,9,6]]",
+                "kind": "loose_capacity",
+                "physical_error_rate": 1e-4,
+                "params": {"capacities": [5, 8, 12]},
+                "target": {"half_width": 0.2, "relative": True,
+                           "confidence": 0.95},
+                "max_shots": 50_000,
+            },
+            {
+                "name": "fig18_operation_time",
+                "code": "HGP [[225,9,6]]",
+                "kind": "operation_time",
+                "physical_error_rate": 1e-4,
+                "params": {"reductions": [0.0, 0.5, 0.75]},
+                "target": {"half_width": 0.2, "relative": True,
+                           "confidence": 0.95},
+                "max_shots": 50_000,
+            },
+            {
+                "name": "fig20_compilers",
+                "code": "HGP [[225,9,6]]",
+                "kind": "compiler_comparison",
+            },
+            {
+                "name": "fig21_swap",
+                "code": "HGP [[225,9,6]]",
+                "kind": "swap_kind",
+            },
+        ],
+    },
+    "scenario_fuzz": {
+        "name": "scenario_fuzz",
+        "description": (
+            "Short seeded scenario_sweep: randomized codes, trap "
+            "topologies and noise models, each run through the fused "
+            "pipeline and cross-checked bit-for-bit against the "
+            "backend='bool' reference oracle; mismatches are minimized "
+            "to replayable JSON files under scenario-failures/."
+        ),
+        "budget": 4000,
+        "seed": 7,
+        "sweeps": [
+            {
+                "name": "fuzz",
+                "kind": "scenario_sweep",
+                "params": {"num_scenarios": 6, "shots": 192,
+                           "scenario_seed": 11},
+                # Effectively unreachable width: every scenario consumes
+                # its full pinned shot count (cap == pilot == shots), so
+                # the oracle cross-checks the whole draw.
+                "target": {"half_width": 1e-9},
+            },
         ],
     },
     "ci_smoke": {

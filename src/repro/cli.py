@@ -44,7 +44,15 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from repro.analysis import speedup_table
-from repro.campaign import available_specs, load_spec, run_campaign
+from repro.campaign import (
+    ScenarioMismatch,
+    available_kinds,
+    available_specs,
+    builtin_spec,
+    kind_by_name,
+    load_spec,
+    run_campaign,
+)
 from repro.codes import available_codes, code_by_name
 from repro.core import (
     PrecisionTarget,
@@ -151,7 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_parser.add_argument(
         "--list-specs", action="store_true",
-        help="list the builtin campaign specs and exit",
+        help="list the builtin campaign specs and the registered sweep "
+             "kinds (with their param schemas) and exit",
     )
     campaign_parser.add_argument(
         "--store", default=None, metavar="PATH",
@@ -262,10 +271,33 @@ def _cmd_memory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_specs_and_kinds() -> None:
+    """The ``--list-specs`` listing: builtin specs, then every
+    registered sweep kind with its parameter schema.  The format is
+    pinned by ``tests/test_cli.py`` — spec lines are indented names
+    with the sweep count, kind lines are ``name: description`` followed
+    by one ``- param (type, default=...)`` line per schema entry."""
+    print("builtin specs:")
+    for name in available_specs():
+        spec = builtin_spec(name)
+        print(f"  {name} ({len(spec.sweeps)} sweeps, "
+              f"budget {spec.budget})")
+    print()
+    print("sweep kinds:")
+    for name in available_kinds():
+        kind = kind_by_name(name)
+        print(f"  {name}: {kind.description}")
+        for param in kind.params:
+            line = f"    - {param.name} ({param.type}, " \
+                   f"default={param.default!r})"
+            if param.doc:
+                line += f": {param.doc}"
+            print(line)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.list_specs:
-        for name in available_specs():
-            print(name)
+        _print_specs_and_kinds()
         return 0
     if args.spec is None:
         print("a spec name or path is required (or --list-specs)",
@@ -285,6 +317,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # usage errors, not crashes.
         print(str(error), file=sys.stderr)
         return 2
+    except ScenarioMismatch as error:
+        # A scenario_sweep point disagreed with its reference oracle:
+        # the minimized scenario is already on disk, so surface the
+        # replay path and exit distinctly (CI uploads the artifact).
+        print(str(error), file=sys.stderr)
+        if error.path is not None:
+            print(f"minimized failure scenario: {error.path}",
+                  file=sys.stderr)
+        return 4
     for table in result.tables:
         print(table.to_text())
         print()

@@ -48,6 +48,7 @@ from repro.core.stats import PrecisionTarget, as_precision_target, binomial_inte
 __all__ = [
     "AdaptivePoint",
     "allocate_shots",
+    "default_pilot_shots",
     "run_adaptive_refine",
     "sweep_architectures",
     "sweep_physical_error",
@@ -60,6 +61,12 @@ _MAX_REFINE_ROUNDS = 8
 
 #: Smallest refine allocation worth dispatching (one worthwhile shard).
 _MIN_REFINE_SHOTS = 32
+
+
+def default_pilot_shots(per_point_budget: int) -> int:
+    """Pilot sizing shared by the sweep and campaign schedulers: a
+    quarter of the per-point budget share, clamped to [32, 512]."""
+    return max(_MIN_REFINE_SHOTS, min(int(per_point_budget) // 4, 512))
 
 
 def _estimated_rate(failures: int, shots: int) -> float:
@@ -247,7 +254,7 @@ def _run_points(experiment: MemoryExperiment,
     cap = int(max_shots) if max_shots is not None else global_budget
     cap = max(1, min(cap, global_budget))
     if pilot_shots is None:
-        pilot = max(_MIN_REFINE_SHOTS, min(int(shots) // 4, 512))
+        pilot = default_pilot_shots(shots)
     else:
         pilot = max(1, int(pilot_shots))
     pilot = min(pilot, cap)

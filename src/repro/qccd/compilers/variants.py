@@ -156,9 +156,12 @@ class MoveBatchingCompiler(EJFGridCompiler):
             lengths = nx.single_source_shortest_path_length(
                 device.graph, ancilla_trap
             )
+            # Tie-break equidistant traps by name: iterating the raw set
+            # would make the schedule depend on the interpreter's hash
+            # seed (set order of strings varies across processes).
             target_trap = min(
                 {placement.trap_of(q) for q in remaining},
-                key=lambda trap: lengths.get(trap, float("inf")),
+                key=lambda trap: (lengths.get(trap, float("inf")), trap),
             )
             clock = ready_time
             if target_trap != ancilla_trap:

@@ -1,0 +1,450 @@
+"""The sweep-kind registry and bit-identity of the migrated figures.
+
+Every bespoke figure function that moved onto the kind registry is
+parity-tested here against a frozen replica of its legacy
+implementation: same code, same seed, same shot budget — the rendered
+tables must match byte for byte (``to_json``).  The replicas are
+deliberate copies of the pre-migration code paths (one
+:class:`MemoryExperiment` per sweep, sequentially spawned per-run
+seeds, one ``run`` per table row in order); if a kind's expansion ever
+reorders points or re-seeds differently, these tests catch it.
+
+The campaign-level tests exercise multi-kind specs: a mini campaign
+mixing sampled, analytic and migrated kinds resumes from its store
+with zero re-sampling and byte-identical tables, including after a
+simulated mid-campaign interruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.campaign.kinds as kinds_module
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    SweepSpec,
+    run_campaign,
+    run_sweep_kind,
+)
+from repro.campaign.kinds import (
+    KindParam,
+    SweepKind,
+    available_kinds,
+    kind_by_name,
+    kind_params,
+    register_kind,
+)
+from repro.codes import code_by_name
+from repro.core.codesign import codesign_by_name
+from repro.core.memory import MemoryExperiment
+from repro.core.results import ResultTable
+from repro.qccd.compilers import CycloneCompiler, EJFGridCompiler
+from repro.qccd.timing import OperationTimes, SwapKind
+
+CODE = "surface-d3"
+P = 5e-3  # high enough that tiny shot counts see real failures
+SHOTS = 24
+ROUNDS = 2
+SEED = 3
+
+
+# ----------------------------------------------------------------------
+# Frozen legacy replicas (pre-registry implementations, verbatim).
+
+def _legacy_ler(experiment, p, latency, shots):
+    return experiment.run(p, latency, shots=shots).logical_error_rate
+
+
+def _legacy_depth_speedup(code, p, speedups, shots, rounds, seed):
+    baseline = codesign_by_name("baseline").compile(code)
+    latency = baseline.execution_time_us
+    table = ResultTable(
+        title=f"Fig. 5 — LER vs baseline depth speedup ({code.name}, "
+              f"p={p:g})",
+        columns=["speedup", "round_latency_us", "logical_error_rate"],
+    )
+    with MemoryExperiment(code=code, rounds=rounds, seed=seed) as experiment:
+        for speedup in speedups:
+            scaled = latency / speedup
+            table.add_row(
+                speedup=speedup, round_latency_us=scaled,
+                logical_error_rate=_legacy_ler(experiment, p, scaled, shots),
+            )
+    return table
+
+
+def _legacy_junction(code, p, reductions, shots, rounds, seed):
+    table = ResultTable(
+        title=f"Fig. 9 — junction crossing sensitivity ({code.name}, "
+              f"p={p:g})",
+        columns=["design", "junction_reduction", "execution_time_us",
+                 "logical_error_rate"],
+    )
+    with MemoryExperiment(code=code, rounds=rounds, seed=seed) as experiment:
+        baseline = codesign_by_name("baseline").compile(code)
+        table.add_row(
+            design="baseline_grid", junction_reduction=0.0,
+            execution_time_us=baseline.execution_time_us,
+            logical_error_rate=_legacy_ler(
+                experiment, p, baseline.execution_time_us, shots),
+        )
+        for reduction in reductions:
+            times = OperationTimes(junction_improvement_factor=reduction)
+            mesh = codesign_by_name("mesh_junction",
+                                    times=times).compile(code)
+            table.add_row(
+                design="mesh_junction", junction_reduction=reduction,
+                execution_time_us=mesh.execution_time_us,
+                logical_error_rate=_legacy_ler(
+                    experiment, p, mesh.execution_time_us, shots),
+            )
+    return table
+
+
+def _legacy_trap_arrangement(code, p, trap_counts, shots, rounds, seed,
+                             include_ler=True):
+    m_basis = max(code.num_x_stabilizers, code.num_z_stabilizers)
+    if trap_counts is None:
+        trap_counts = sorted({1, 9, 25, 64, m_basis // 2, m_basis})
+    table = ResultTable(
+        title=f"Fig. 13 — Cyclone trap/ion arrangement sensitivity "
+              f"({code.name}, p={p:g})",
+        columns=["num_traps", "trap_capacity", "chain_length",
+                 "execution_time_us", "logical_error_rate"],
+    )
+    with MemoryExperiment(code=code, rounds=rounds, seed=seed) as experiment:
+        for x in trap_counts:
+            x = max(1, min(int(x), m_basis)) if m_basis else 1
+            compiled = CycloneCompiler(num_traps=x).compile(code)
+            row = {
+                "num_traps": x,
+                "trap_capacity": compiled.metadata["trap_capacity"],
+                "chain_length": compiled.metadata["chain_length"],
+                "execution_time_us": compiled.execution_time_us,
+                "logical_error_rate": float("nan"),
+            }
+            if include_ler:
+                row["logical_error_rate"] = _legacy_ler(
+                    experiment, p, compiled.execution_time_us, shots)
+            table.add_row(**row)
+    return table
+
+
+def _legacy_loose_capacity(code, p, capacities, shots, rounds, seed):
+    table = ResultTable(
+        title=f"Fig. 17 — baseline sensitivity to loose trap capacity "
+              f"({code.name}, p={p:g})",
+        columns=["trap_capacity", "execution_time_us", "logical_error_rate"],
+    )
+    with MemoryExperiment(code=code, rounds=rounds, seed=seed) as experiment:
+        for capacity in capacities:
+            compiled = EJFGridCompiler(trap_capacity=capacity).compile(code)
+            table.add_row(
+                trap_capacity=capacity,
+                execution_time_us=compiled.execution_time_us,
+                logical_error_rate=_legacy_ler(
+                    experiment, p, compiled.execution_time_us, shots),
+            )
+    return table
+
+
+def _legacy_operation_time(code, p, reductions, shots, rounds, seed):
+    table = ResultTable(
+        title=f"Fig. 18 — gate/shuttle time reduction sensitivity "
+              f"({code.name}, p={p:g})",
+        columns=["reduction", "design", "execution_time_us",
+                 "logical_error_rate"],
+    )
+    with MemoryExperiment(code=code, rounds=rounds, seed=seed) as experiment:
+        for reduction in reductions:
+            times = OperationTimes(improvement_factor=reduction)
+            for design in ("baseline", "cyclone"):
+                compiled = codesign_by_name(design, times=times).compile(code)
+                table.add_row(
+                    reduction=reduction, design=design,
+                    execution_time_us=compiled.execution_time_us,
+                    logical_error_rate=_legacy_ler(
+                        experiment, p, compiled.execution_time_us, shots),
+                )
+    return table
+
+
+def _legacy_compiler_comparison(code, compilers):
+    table = ResultTable(
+        title=f"Fig. 20 — compiler sensitivity ({code.name})",
+        columns=["compiler", "execution_time_us", "unrolled_total_us",
+                 "unrolled_gate_us", "unrolled_shuttle_us",
+                 "unrolled_measurement_us", "parallelization_fraction"],
+    )
+    for name in compilers:
+        compiled = codesign_by_name(name).compile(code)
+        breakdown = compiled.component_breakdown()
+        shuttle = sum(
+            breakdown.get(key, 0.0)
+            for key in ("split", "move", "junction_cross", "merge",
+                        "rebalance", "swap")
+        )
+        table.add_row(
+            compiler=name,
+            execution_time_us=compiled.execution_time_us,
+            unrolled_total_us=compiled.serialized_time_us,
+            unrolled_gate_us=breakdown.get("gate", 0.0),
+            unrolled_shuttle_us=shuttle,
+            unrolled_measurement_us=breakdown.get("measurement", 0.0),
+            parallelization_fraction=compiled.parallelization_fraction,
+        )
+    return table
+
+
+def _legacy_swap_kind(code):
+    table = ResultTable(
+        title=f"Fig. 21 — IonSWAP vs GateSWAP sensitivity ({code.name})",
+        columns=["design", "swap_kind", "execution_time_us"],
+    )
+    for swap_kind in (SwapKind.GATE_SWAP, SwapKind.ION_SWAP):
+        times = OperationTimes(swap_kind=swap_kind)
+        for design in ("baseline", "cyclone"):
+            compiled = codesign_by_name(design, times=times).compile(code)
+            table.add_row(
+                design=design, swap_kind=swap_kind.value,
+                execution_time_us=compiled.execution_time_us,
+            )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Registry semantics.
+
+class TestRegistry:
+    def test_all_builtin_kinds_registered(self):
+        assert set(available_kinds()) >= {
+            "physical_error", "architectures", "depth_speedup",
+            "junction_crossing", "trap_arrangement", "loose_capacity",
+            "operation_time", "compiler_comparison", "swap_kind",
+            "scenario_sweep",
+        }
+
+    def test_unknown_kind_error_names_registered_kinds(self):
+        with pytest.raises(ValueError, match="unknown sweep kind 'bogus'"):
+            kind_by_name("bogus")
+        with pytest.raises(ValueError, match="registered kinds"):
+            kind_by_name("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        existing = kind_by_name("physical_error")
+        with pytest.raises(ValueError, match="already registered"):
+            register_kind(existing)
+
+    def test_custom_kind_registers_and_runs(self):
+        custom = SweepKind(
+            name="test_only_latency",
+            description="compiled latency per codesign (test-only)",
+            params=(KindParam("designs", "list[str]",
+                              ["baseline", "cyclone"], "codesigns"),),
+            expand=lambda sweep, code: [
+                kinds_module.ExpandedPoint(
+                    row={"design": name,
+                         "execution_time_us": codesign_by_name(name)
+                         .compile(code).execution_time_us},
+                    sampled=False)
+                for name in kind_params(sweep)["designs"]
+            ],
+            static_columns=lambda sweep: ["design", "execution_time_us"],
+            title=lambda sweep: f"latency ({sweep.code})",
+            count=lambda sweep: 0,
+            sampled=False,
+        )
+        register_kind(custom)
+        try:
+            sweep = SweepSpec(name="s", code=CODE, kind="test_only_latency")
+            table = run_sweep_kind(sweep)
+            assert [row["design"] for row in table.rows] == \
+                ["baseline", "cyclone"]
+            assert all(row["execution_time_us"] > 0 for row in table.rows)
+        finally:
+            del kinds_module._KINDS["test_only_latency"]
+
+    def test_kind_params_merges_schema_defaults(self):
+        sweep = SweepSpec(name="s", code=CODE, kind="depth_speedup",
+                          params={"speedups": [2.0]})
+        assert kind_params(sweep) == {"speedups": [2.0]}
+        sweep = SweepSpec(name="s", code=CODE, kind="depth_speedup")
+        assert kind_params(sweep) == {"speedups": [1.0, 2.0, 4.0]}
+
+    def test_unknown_param_key_rejected(self):
+        with pytest.raises(ValueError,
+                           match=r"unknown depth_speedup params"):
+            SweepSpec(name="s", code=CODE, kind="depth_speedup",
+                      params={"bogus": 1})
+
+    def test_params_survive_spec_round_trip(self):
+        sweep = SweepSpec(name="s", code=CODE, kind="loose_capacity",
+                          params={"capacities": [5, 9]})
+        assert SweepSpec.from_dict(sweep.to_dict()) == sweep
+
+
+# ----------------------------------------------------------------------
+# Bit-identity parity: registered kind vs frozen legacy replica.
+
+def _kind_table(kind, params, **sweep_fields):
+    sweep = SweepSpec(name="parity", code=CODE, kind=kind, params=params,
+                      rounds=ROUNDS, **sweep_fields)
+    return run_sweep_kind(sweep, shots=SHOTS, seed=SEED)
+
+
+class TestKindParity:
+    def test_fig05_depth_speedup(self):
+        code = code_by_name(CODE)
+        legacy = _legacy_depth_speedup(code, P, (1.0, 2.0, 4.0),
+                                       SHOTS, ROUNDS, SEED)
+        table = _kind_table("depth_speedup", {"speedups": [1.0, 2.0, 4.0]},
+                            physical_error_rate=P)
+        assert table.to_json() == legacy.to_json()
+
+    def test_fig09_junction_crossing(self):
+        code = code_by_name(CODE)
+        legacy = _legacy_junction(code, P, (0.0, 0.7), SHOTS, ROUNDS, SEED)
+        table = _kind_table("junction_crossing", {"reductions": [0.0, 0.7]},
+                            physical_error_rate=P)
+        assert table.to_json() == legacy.to_json()
+
+    def test_fig13_trap_arrangement(self):
+        code = code_by_name(CODE)
+        legacy = _legacy_trap_arrangement(code, P, (1, 4), SHOTS, ROUNDS,
+                                          SEED)
+        table = _kind_table("trap_arrangement", {"trap_counts": [1, 4]},
+                            physical_error_rate=P)
+        assert table.to_json() == legacy.to_json()
+
+    def test_fig13_compiled_only(self):
+        code = code_by_name(CODE)
+        legacy = _legacy_trap_arrangement(code, P, (1, 4), SHOTS, ROUNDS,
+                                          SEED, include_ler=False)
+        table = _kind_table("trap_arrangement",
+                            {"trap_counts": [1, 4], "include_ler": False},
+                            physical_error_rate=P)
+        assert table.to_json() == legacy.to_json()
+
+    def test_fig17_loose_capacity(self):
+        code = code_by_name(CODE)
+        legacy = _legacy_loose_capacity(code, P, (5, 8), SHOTS, ROUNDS, SEED)
+        table = _kind_table("loose_capacity", {"capacities": [5, 8]},
+                            physical_error_rate=P)
+        assert table.to_json() == legacy.to_json()
+
+    def test_fig18_operation_time(self):
+        code = code_by_name(CODE)
+        legacy = _legacy_operation_time(code, P, (0.0, 0.5), SHOTS, ROUNDS,
+                                        SEED)
+        table = _kind_table("operation_time", {"reductions": [0.0, 0.5]},
+                            physical_error_rate=P)
+        assert table.to_json() == legacy.to_json()
+
+    def test_fig20_compiler_comparison(self):
+        code = code_by_name(CODE)
+        legacy = _legacy_compiler_comparison(
+            code, ("baseline", "baseline2", "baseline3", "cyclone"))
+        table = _kind_table("compiler_comparison", {})
+        assert table.to_json() == legacy.to_json()
+
+    def test_fig21_swap_kind(self):
+        code = code_by_name(CODE)
+        legacy = _legacy_swap_kind(code)
+        table = _kind_table("swap_kind", {})
+        assert table.to_json() == legacy.to_json()
+
+    def test_wrappers_delegate_to_kinds(self):
+        # The public analysis API is a thin shell over the same kinds.
+        from repro.analysis import depth_speedup_ler, swap_kind_sensitivity
+        code = code_by_name(CODE)
+        wrapped = depth_speedup_ler(code, physical_error_rate=P,
+                                    speedups=(1.0, 2.0, 4.0), shots=SHOTS,
+                                    rounds=ROUNDS, seed=SEED)
+        table = _kind_table("depth_speedup", {"speedups": [1.0, 2.0, 4.0]},
+                            physical_error_rate=P)
+        assert wrapped.to_json() == table.to_json()
+        assert swap_kind_sensitivity(code).to_json() == \
+            _legacy_swap_kind(code).to_json()
+
+
+# ----------------------------------------------------------------------
+# Multi-kind campaigns: resume across every kind.
+
+def _multi_kind_spec(budget: int = 700) -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "multi_kind",
+        "budget": budget,
+        "seed": 5,
+        "sweeps": [
+            {"name": "ler", "code": "repetition-d3",
+             "kind": "physical_error", "codesign": "cyclone",
+             "physical_error_rates": [5e-3, 2e-2],
+             "target": {"half_width": 0.04}, "rounds": 2,
+             "pilot_shots": 32, "shard_shots": 64},
+            {"name": "speedup", "code": CODE, "kind": "depth_speedup",
+             "physical_error_rate": P, "params": {"speedups": [1.0, 2.0]},
+             "target": {"half_width": 0.05}, "rounds": 2,
+             "pilot_shots": 32, "shard_shots": 64},
+            {"name": "traps", "code": CODE, "kind": "trap_arrangement",
+             "physical_error_rate": P,
+             "params": {"trap_counts": [1, 4], "include_ler": False}},
+            {"name": "swaps", "code": CODE, "kind": "swap_kind"},
+            {"name": "fuzz", "kind": "scenario_sweep",
+             "params": {"num_scenarios": 2, "shots": 48,
+                        "scenario_seed": 11}},
+        ],
+    })
+
+
+class TestMultiKindCampaign:
+    def test_resume_reuses_every_kind(self, tmp_path):
+        spec = _multi_kind_spec()
+        store = tmp_path / "store.jsonl"
+        cold = run_campaign(spec, store=store)
+        assert cold.shots_sampled > 0
+        warm = run_campaign(spec, store=store)
+        assert warm.shots_sampled == 0
+        assert warm.points_reused == warm.points_total == cold.points_total
+        assert len(warm.tables) == len(cold.tables)
+        for one, two in zip(cold.tables, warm.tables):
+            assert one.to_json() == two.to_json()
+        # Analytic kinds render rows without costing budget.
+        by_title = {table.title: table for table in warm.tables}
+        swap_table = next(t for t in warm.tables if "Fig. 21" in t.title)
+        assert len(swap_table.rows) == 4
+        assert by_title  # every sweep produced a table
+
+    def test_interrupted_multi_kind_campaign_resumes(self, tmp_path,
+                                                     monkeypatch):
+        spec = _multi_kind_spec()
+        store = tmp_path / "store.jsonl"
+        appended = {"n": 0}
+        original_run = MemoryExperiment.run
+        original_append = ResultStore.append
+
+        def counting_append(self, record):
+            appended["n"] += 1
+            return original_append(self, record)
+
+        def dying_run(self, *args, **kwargs):
+            if appended["n"] >= 2:
+                raise KeyboardInterrupt("simulated ^C mid-campaign")
+            return original_run(self, *args, **kwargs)
+
+        monkeypatch.setattr(ResultStore, "append", counting_append)
+        monkeypatch.setattr(MemoryExperiment, "run", dying_run)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, store=store)
+        monkeypatch.setattr(MemoryExperiment, "run", original_run)
+        assert len(ResultStore(store)) >= 2
+
+        resumed = run_campaign(spec, store=store)
+        assert resumed.points_reused >= 2
+        assert resumed.points_reused <= resumed.points_total
+        # A third run replays every kind from the store: nothing sampled.
+        final = run_campaign(spec, store=store)
+        assert final.shots_sampled == 0
+        assert final.points_reused == final.points_total
+        for one, two in zip(resumed.tables, final.tables):
+            assert one.to_json() == two.to_json()

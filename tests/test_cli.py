@@ -150,3 +150,58 @@ class TestCommands:
         exit_code = main(["speedup", "--codes", "BB [[72,12,6]]"])
         assert exit_code == 0
         assert "speedup" in capsys.readouterr().out
+
+
+class TestCampaignListSpecs:
+    def test_list_specs_format_is_pinned(self, capsys):
+        """The --list-specs layout is part of the CLI contract: specs
+        first, then every registered kind with its parameter schema."""
+        from repro.campaign import available_kinds, available_specs
+
+        assert main(["campaign", "--list-specs"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("builtin specs:\n")
+        for name in available_specs():
+            assert f"\n  {name} (" in "\n" + out
+        assert "\nsweep kinds:\n" in out
+        for name in available_kinds():
+            assert f"\n  {name}: " in out
+        # One "- param (type, default=...)" schema line per kind param.
+        assert ("    - speedups (list[float], default=[1.0, 2.0, 4.0]): "
+                "divisors applied to the compiled baseline latency") in out
+        assert "    - check_backend (str, default='bool')" in out
+        assert "    - num_scenarios (int, default=8)" in out
+
+    def test_full_spec_lists_every_figure_sweep(self, capsys):
+        from repro.campaign import builtin_spec
+
+        spec = builtin_spec("paper_figures_full")
+        names = {sweep.name for sweep in spec.sweeps}
+        assert {"fig14_bb72_baseline", "fig14_bb144_cyclone",
+                "fig15_hgp225_baseline", "fig15_hgp400_cyclone",
+                "fig05_depth_speedup", "fig09_junction",
+                "fig13_trap_arrangement", "fig17_loose_capacity",
+                "fig18_operation_time", "fig20_compilers",
+                "fig21_swap"} <= names
+
+
+class TestCampaignScenarioMismatch:
+    def test_oracle_mismatch_exits_4_with_replay_path(self, capsys,
+                                                      monkeypatch, tmp_path):
+        import repro.cli as cli_module
+        from repro.campaign import ScenarioMismatch
+        from repro.campaign.scenarios import (generate_scenario,
+                                              write_failure_scenario)
+
+        scenario = generate_scenario(3, 0, shots=16)
+        path = write_failure_scenario(scenario, tmp_path, reason="injected")
+
+        def failing_campaign(spec, store=None, workers=1, budget=None):
+            raise ScenarioMismatch("injected oracle mismatch", scenario,
+                                   path)
+
+        monkeypatch.setattr(cli_module, "run_campaign", failing_campaign)
+        assert main(["campaign", "scenario_fuzz"]) == 4
+        err = capsys.readouterr().err
+        assert "injected oracle mismatch" in err
+        assert f"minimized failure scenario: {path}" in err

@@ -1,0 +1,164 @@
+"""Property suite for the randomized scenario_sweep machinery.
+
+The contracts pinned here are what makes the fuzz kind trustworthy:
+
+* scenario generation is a pure function of ``(entropy, index)``;
+* scenarios are JSON-native and round-trip losslessly, both through
+  ``to_dict``/``from_dict`` and through failure-artifact files;
+* a stored scenario replays **bit-identically** — same code, same
+  compiled latency, same noise realisation, same tally — because the
+  sampling seed lives inside the scenario;
+* fast backends agree with the ``bool``/serial reference oracle on
+  generated scenarios (the differential property the fuzz kind
+  enforces in-run);
+* the minimizer shrinks failing scenarios while preserving failure.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.campaign.scenarios as scenarios_module
+from repro.campaign.scenarios import (
+    SCENARIO_VERSION,
+    Scenario,
+    ScenarioMismatch,
+    generate_scenario,
+    load_scenario,
+    minimize_scenario,
+    report_scenario_mismatch,
+    run_scenario,
+    scenario_differs,
+    write_failure_scenario,
+)
+
+entropies = st.integers(min_value=0, max_value=2**32 - 1)
+indices = st.integers(min_value=0, max_value=31)
+
+
+class TestGeneration:
+    @given(entropy=entropies, index=indices)
+    @settings(max_examples=25, deadline=None)
+    def test_generation_is_deterministic(self, entropy, index):
+        first = generate_scenario(entropy, index, shots=32)
+        second = generate_scenario(entropy, index, shots=32)
+        assert first == second
+
+    @given(entropy=entropies, index=indices)
+    @settings(max_examples=25, deadline=None)
+    def test_generated_fields_are_sane(self, entropy, index):
+        scenario = generate_scenario(entropy, index, shots=48)
+        assert scenario.shots == 48
+        assert scenario.rounds >= 1
+        assert 0 < scenario.physical_error_rate < 0.1
+        assert scenario.name == f"scenario-{entropy}-{index:03d}"
+
+    def test_distinct_indices_vary_the_stream(self):
+        scenarios = [generate_scenario(0, index) for index in range(16)]
+        assert len({s.code_family for s in scenarios}) > 1
+        assert len({s.codesign for s in scenarios}) > 1
+
+
+class TestRoundTrip:
+    @given(entropy=entropies, index=indices)
+    @settings(max_examples=25, deadline=None)
+    def test_json_round_trip(self, entropy, index):
+        scenario = generate_scenario(entropy, index)
+        payload = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(payload) == scenario
+
+    def test_failure_artifact_round_trip(self, tmp_path):
+        scenario = generate_scenario(5, 2)
+        path = write_failure_scenario(scenario, tmp_path, reason="test")
+        assert path.name == f"{scenario.name}.json"
+        assert load_scenario(path) == scenario
+        payload = json.loads(path.read_text())
+        assert payload["version"] == SCENARIO_VERSION
+        assert payload["reason"] == "test"
+
+    def test_version_gate(self, tmp_path):
+        scenario = generate_scenario(5, 2)
+        path = write_failure_scenario(scenario, tmp_path, reason="test")
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_scenario(path)
+
+    def test_unknown_keys_rejected(self):
+        payload = generate_scenario(5, 2).to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown scenario keys"):
+            Scenario.from_dict(payload)
+
+
+class TestReplay:
+    @given(entropy=entropies, index=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_replay_is_bit_identical(self, entropy, index):
+        scenario = generate_scenario(entropy, index, shots=32)
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert (first.failures, first.shots) == \
+            (second.failures, second.shots)
+
+    def test_replay_from_stored_file(self, tmp_path):
+        scenario = generate_scenario(11, 3, shots=48)
+        reference = run_scenario(scenario)
+        path = write_failure_scenario(scenario, tmp_path, reason="test")
+        replayed = run_scenario(load_scenario(path))
+        assert (replayed.failures, replayed.shots) == \
+            (reference.failures, reference.shots)
+
+
+class TestDifferential:
+    @given(entropy=entropies, index=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_packed_agrees_with_bool_oracle(self, entropy, index):
+        scenario = generate_scenario(entropy, index, shots=32)
+        assert not scenario_differs(scenario, backend="packed",
+                                    reference="bool")
+
+
+class TestMinimizer:
+    def test_minimizer_shrinks_while_failing(self):
+        scenario = generate_scenario(7, 1, shots=256)
+
+        def differs(candidate: Scenario) -> bool:
+            return candidate.shots >= 16
+
+        minimized = minimize_scenario(scenario, differs, max_attempts=40)
+        assert minimized.shots == 16
+        assert differs(minimized)
+
+    def test_minimizer_keeps_original_when_nothing_shrinks(self):
+        scenario = generate_scenario(7, 1, shots=8)
+        minimized = minimize_scenario(scenario, lambda s: s.shots >= 4,
+                                      max_attempts=8)
+        # No candidate both shrinks and still fails beyond what the
+        # shots floor allows; every kept reduction preserved failure.
+        assert minimized.shots >= 4
+
+    def test_report_writes_artifact_and_raises(self, tmp_path, monkeypatch):
+        scenario = generate_scenario(7, 1, shots=64)
+        # The mismatch is injected: the pair of real backend runs is
+        # replaced so the reporting path can be tested in isolation.
+        monkeypatch.setattr(scenarios_module, "scenario_differs",
+                            lambda candidate, backend, reference: False)
+        with pytest.raises(ScenarioMismatch) as excinfo:
+            report_scenario_mismatch(scenario, "packed", "bool",
+                                     tmp_path / "failures",
+                                     detail="unit test")
+        err = excinfo.value
+        assert err.scenario == scenario
+        assert err.path is not None and err.path.exists()
+        assert load_scenario(err.path) == scenario
+        payload = json.loads(err.path.read_text())
+        assert payload["detail"] == "unit test"
+        assert payload["fast_backend"] == "packed"

@@ -295,16 +295,18 @@ class TestSweepPoolLifetime:
     """A mid-sweep failure must release the fused-pipeline worker pool."""
 
     def test_failing_point_releases_pool(self, monkeypatch):
+        import repro.campaign.kinds as kinds_module
+
         created = []
-        real_factory = sensitivity_module._sweep_experiment
+        real_cls = kinds_module.MemoryExperiment
 
-        def capturing_factory(*args, **kwargs):
-            experiment = real_factory(*args, **kwargs)
-            created.append(experiment)
-            return experiment
+        class CapturingExperiment(real_cls):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
 
-        monkeypatch.setattr(sensitivity_module, "_sweep_experiment",
-                            capturing_factory)
+        monkeypatch.setattr(kinds_module, "MemoryExperiment",
+                            CapturingExperiment)
 
         real_run = MemoryExperiment.run
         calls = {"count": 0}
