@@ -8,7 +8,11 @@ repeatedly re-allocating the remaining budget to the points (in any
 sweep) whose confidence intervals need it most.  A resumable result
 store (:class:`ResultStore`) makes re-runs free and interruption safe:
 completed points are keyed by a content fingerprint of their
-parameters and are reused bit-identically instead of re-sampled.
+parameters and are reused bit-identically instead of re-sampled, and
+per-stage checkpoints let a crash *mid-point* resume by replaying the
+logged stages.  SIGINT/SIGTERM (and the injected equivalent from
+:mod:`repro.parallel.faults`) stop a run cleanly via
+:class:`CampaignInterrupted` with everything finalised already flushed.
 
 What a sweep computes is pluggable: every figure of the evaluation is a
 registered **sweep kind** (:mod:`repro.campaign.kinds` —
@@ -34,7 +38,11 @@ from repro.campaign.kinds import (
     register_kind,
     run_sweep_kind,
 )
-from repro.campaign.orchestrator import CampaignResult, run_campaign
+from repro.campaign.orchestrator import (
+    CampaignInterrupted,
+    CampaignResult,
+    run_campaign,
+)
 from repro.campaign.scenarios import (
     Scenario,
     ScenarioMismatch,
@@ -54,6 +62,7 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore, fingerprint
 
 __all__ = [
+    "CampaignInterrupted",
     "CampaignResult",
     "CampaignSpec",
     "ExpandedPoint",

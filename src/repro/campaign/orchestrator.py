@@ -68,10 +68,21 @@ from repro.core.sweep import (
     run_adaptive_refine,
     tally_point_fields,
 )
+from repro.parallel.faults import active_plan
 from repro.parallel.pipeline import SharedPool
 from repro.parallel.sharded import resolve_workers
 
-__all__ = ["CampaignResult", "run_campaign"]
+__all__ = ["CampaignInterrupted", "CampaignResult", "run_campaign"]
+
+
+class CampaignInterrupted(RuntimeError):
+    """A campaign stopped cleanly before finishing its budget.
+
+    Raised when the ``stop`` callback (wired to SIGINT/SIGTERM by the
+    CLI) or an injected ``sigterm_after_points`` fault fires: every
+    point already finalised has been flushed to the store, no further
+    sampling starts, and the pool is released on the way out.  A rerun
+    against the same store resumes from everything flushed."""
 
 
 def _point_seed(seed: int, sweep_index: int, point_index: int,
@@ -111,6 +122,12 @@ class _CampaignPoint:
     oracle: OracleCheck | None = None
     tally: list[int] = field(default_factory=lambda: [0, 0])
     reused: bool = False
+    # Per-stage sampling log: [{"stage", "allocation", "failures",
+    # "shots"}, ...], checkpointed to the store after every fresh stage
+    # so a crash mid-point resumes from folded stages.  ``replay`` is
+    # the stage → entry map rebuilt from such a partial record.
+    stage_log: list = field(default_factory=list)
+    replay: dict | None = None
 
     def fields(self) -> dict:
         return tally_point_fields(self.tally[0], self.tally[1], self.rounds,
@@ -122,8 +139,10 @@ class CampaignResult:
     """Outcome of a campaign run: the tables plus the budget ledger.
 
     ``shots_sampled`` counts fresh Monte-Carlo work this run performed;
-    ``shots_reused`` counts tallies served by the result store.  Their
-    sum never exceeds ``budget`` (store records count against the
+    ``shots_reused`` counts tallies served by whole-point store
+    records; ``shots_replayed`` counts stages served by *partial*
+    checkpoint records (a crash mid-point left a stage log behind).
+    Their sum never exceeds ``budget`` (store records count against the
     budget exactly as they did when first sampled).  ``points_total``
     and ``targets_met`` count *sampled* points only — analytic rows
     (``compiler_comparison``, ``swap_kind``) have no budget story.
@@ -138,10 +157,11 @@ class CampaignResult:
     shots_reused: int
     targets_met: int
     store_path: str | None = None
+    shots_replayed: int = 0
 
     @property
     def spent(self) -> int:
-        return self.shots_sampled + self.shots_reused
+        return self.shots_sampled + self.shots_reused + self.shots_replayed
 
     def summary_table(self) -> ResultTable:
         """Per-sweep rollup.  Deliberately free of the sampled/reused
@@ -173,6 +193,7 @@ class CampaignResult:
             "spent": self.spent,
             "shots_sampled": self.shots_sampled,
             "shots_reused": self.shots_reused,
+            "shots_replayed": self.shots_replayed,
             "points_total": self.points_total,
             "points_reused": self.points_reused,
             "targets_met": self.targets_met,
@@ -309,18 +330,34 @@ def _build_tables(spec: CampaignSpec,
 def run_campaign(spec: CampaignSpec,
                  store: "ResultStore | str | None" = None,
                  workers: int = 1,
-                 budget: int | None = None) -> CampaignResult:
+                 budget: int | None = None,
+                 shard_timeout: float | None = None,
+                 max_shard_retries: int | None = None,
+                 stop=None) -> CampaignResult:
     """Run (or resume) a campaign under its global shot budget.
 
     ``store`` enables resume: a path or :class:`ResultStore` whose
     records — keyed on the campaign fingerprint plus each point's
-    parameters — are reused instead of re-sampled.  ``workers`` sizes
-    the shared process pool every sweep streams through (``1``:
-    in-process; ``0``: one per core; results bit-identical for any
-    value).  ``budget`` overrides the spec's global budget, e.g. to
-    dry-run ``paper_figures`` at a fraction of the paper's shots (the
-    override participates in the store key: runs at different budgets
-    never cross-contaminate).
+    parameters — are reused instead of re-sampled.  Beyond whole-point
+    records, the orchestrator checkpoints a per-stage sampling log
+    into the store after every pilot/refine stage of every point, so a
+    crash mid-point resumes by *replaying* the logged stages (their
+    seeds are pure functions of the spec, so replay is bit-identical
+    and costs zero sampling) instead of re-sampling the point from
+    scratch.  ``workers`` sizes the shared process pool every sweep
+    streams through (``1``: in-process; ``0``: one per core; results
+    bit-identical for any value).  ``budget`` overrides the spec's
+    global budget, e.g. to dry-run ``paper_figures`` at a fraction of
+    the paper's shots (the override participates in the store key:
+    runs at different budgets never cross-contaminate).
+
+    ``shard_timeout`` / ``max_shard_retries`` override every sweep's
+    fault-tolerance knobs for this run (see
+    :class:`~repro.campaign.spec.SweepSpec`; excluded from the store
+    key).  ``stop`` is an optional zero-argument callable polled
+    between units of work; once it returns true the campaign flushes
+    everything finalised, releases the pool and raises
+    :class:`CampaignInterrupted` — the CLI wires SIGINT/SIGTERM to it.
     """
     spec.validate_names()
     effective_budget = int(budget) if budget is not None else spec.budget
@@ -336,13 +373,25 @@ def run_campaign(spec: CampaignSpec,
     shots_reused = 0
     for point in sampled_points:
         record = store.get(point.key) if store is not None else None
-        if record is not None:
-            point.tally = [int(record["failures"]), int(record["shots"])]
-            point.reused = True
-            shots_reused += point.tally[1]
+        if record is None:
+            continue
+        if record.get("partial"):
+            # A crash left a per-stage checkpoint behind: the point is
+            # still fresh (it runs through pilot/refine as usual), but
+            # every logged stage is served from the log instead of
+            # sampled — bit-identical, because stage seeds are pure
+            # functions of the spec.
+            point.replay = {int(entry["stage"]): entry
+                            for entry in record.get("stages", ())}
+            continue
+        point.tally = [int(record["failures"]), int(record["shots"])]
+        point.reused = True
+        shots_reused += point.tally[1]
 
     spent = shots_reused
     shots_sampled = 0
+    shots_replayed = 0
+    points_finalized = 0
     fresh = [point for point in sampled_points if not point.reused]
 
     # Interruption safety: flush a fresh point to the store the moment
@@ -352,6 +401,7 @@ def run_campaign(spec: CampaignSpec,
     stored_keys: set[str] = set()
 
     def flush(point: _CampaignPoint, force: bool = False) -> None:
+        nonlocal points_finalized
         if store is None or point.key in stored_keys:
             return
         final = (force or point.tally[1] >= point.cap
@@ -368,6 +418,31 @@ def run_campaign(spec: CampaignSpec,
             "shots": point.tally[1],
         })
         stored_keys.add(point.key)
+        points_finalized += 1
+        plan = active_plan()
+        if plan is not None and plan.take_sigterm(points_finalized):
+            # Injected stand-in for SIGTERM: exercise the same
+            # flush/raise path the real signal handlers reach via
+            # ``stop``, deterministically placed after this point.
+            raise CampaignInterrupted(
+                f"injected interrupt after {points_finalized} points")
+
+    def checkpoint(point: _CampaignPoint) -> None:
+        """Persist the point's stage log (a partial, superseded later
+        by the final record under the same key)."""
+        if store is None:
+            return
+        store.append({
+            "key": point.key,
+            "campaign": campaign_fp,
+            "spec_name": spec.name,
+            "sweep": point.sweep.name,
+            "params": point.params,
+            "partial": True,
+            "stages": list(point.stage_log),
+            "failures": sum(e["failures"] for e in point.stage_log),
+            "shots": sum(e["shots"] for e in point.stage_log),
+        })
 
     def seed_for(point: _CampaignPoint, stage: int) -> np.random.SeedSequence:
         if point.seed_entropy is not None:
@@ -388,6 +463,12 @@ def run_campaign(spec: CampaignSpec,
             key = (point.sweep_index, point.experiment_key, reference)
             experiment = experiments.get(key)
             if experiment is None:
+                # The run-level overrides win over the sweep's knobs;
+                # oracle reference runs are in-process and need neither.
+                timeout = (shard_timeout if shard_timeout is not None
+                           else point.sweep.shard_timeout)
+                retries = (max_shard_retries if max_shard_retries is not None
+                           else point.sweep.max_shard_retries)
                 experiment = stack.enter_context(MemoryExperiment(
                     code=point.code, rounds=point.rounds,
                     basis=point.basis, method=point.sweep.method,
@@ -398,12 +479,36 @@ def run_campaign(spec: CampaignSpec,
                     workers=1 if reference is not None else worker_count,
                     shard_shots=point.shard_shots,
                     pool=None if reference is not None else pool,
+                    shard_timeout=None if reference is not None else timeout,
+                    max_shard_retries=(None if reference is not None
+                                       else retries),
                 ))
                 experiments[key] = experiment
             return experiment
 
         def sample(point: _CampaignPoint, allocation: int,
                    prior: tuple[int, int], stage: int) -> tuple[int, int]:
+            nonlocal shots_replayed
+            if point.replay is not None:
+                logged = point.replay.get(stage)
+                if (logged is not None
+                        and int(logged["allocation"]) == int(allocation)):
+                    # Completed stage from a partial checkpoint: serve
+                    # the logged tally, sample nothing.  (The oracle
+                    # check already passed when the stage first ran.)
+                    failures = int(logged["failures"])
+                    used = int(logged["shots"])
+                    shots_replayed += used
+                    point.stage_log.append({
+                        "stage": stage, "allocation": int(allocation),
+                        "failures": failures, "shots": used,
+                    })
+                    return failures, used
+                # Allocation diverged (e.g. the log predates a spec-
+                # compatible change in execution knobs): drop the rest
+                # of the log and re-sample — stage seeds make that
+                # bit-identical anyway.
+                point.replay = None
             result = experiment_for(point).run(
                 point.physical_error_rate, point.round_latency_us,
                 shots=allocation, target_precision=point.target,
@@ -431,10 +536,23 @@ def run_campaign(spec: CampaignSpec,
                                 f"fast ({result.failures}, {result.shots}) "
                                 f"!= oracle ({check.failures}, "
                                 f"{check.shots})"))
+            point.stage_log.append({
+                "stage": stage, "allocation": int(allocation),
+                "failures": int(result.failures), "shots": int(result.shots),
+            })
+            checkpoint(point)
             return result.failures, result.shots
+
+        def interrupt(message: str) -> None:
+            """Stop cleanly: flush whatever already finalised, raise."""
+            for point in fresh:
+                flush(point)
+            raise CampaignInterrupted(message)
 
         # Pilot: a streamed taste of every fresh point, in spec order.
         for point in fresh:
+            if stop is not None and stop():
+                interrupt("campaign interrupted during pilot")
             allocation = min(point.pilot, point.cap,
                              max(0, effective_budget - spent))
             if allocation > 0:
@@ -464,8 +582,11 @@ def run_campaign(spec: CampaignSpec,
                 flush(point)
 
         spent_after = run_adaptive_refine(adaptive, effective_budget, spent,
-                                          after_round=flush_round)
+                                          after_round=flush_round,
+                                          should_stop=stop)
         shots_sampled += spent_after - spent
+        if stop is not None and stop():
+            interrupt("campaign interrupted during refine")
 
         # Whatever is left stopped because the global budget ran out —
         # final for this campaign, so it is stored too.
@@ -481,8 +602,11 @@ def run_campaign(spec: CampaignSpec,
         budget=effective_budget,
         points_total=len(sampled_points),
         points_reused=len(sampled_points) - len(fresh),
-        shots_sampled=shots_sampled,
+        # Replayed stages flowed through the same counters as sampling
+        # (they spend budget identically); split them back out here.
+        shots_sampled=shots_sampled - shots_replayed,
         shots_reused=shots_reused,
+        shots_replayed=shots_replayed,
         targets_met=targets_met,
         store_path=str(store.path) if store is not None else None,
     )

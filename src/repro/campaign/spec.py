@@ -73,6 +73,13 @@ class SweepSpec:
     point (default: the whole global budget may concentrate on one
     point) and ``pilot_shots`` sizes the pilot pass (default: derived
     from the per-point budget share).
+
+    ``shard_timeout`` / ``max_shard_retries`` are *execution* knobs —
+    a per-shard wall-clock deadline and the pool respawn budget the
+    pipeline tolerates before degrading to in-process execution.  They
+    change how a run recovers from faults, never what it computes, so
+    they are deliberately excluded from the campaign fingerprint: a
+    store written with one retry policy resumes under any other.
     """
 
     name: str
@@ -95,10 +102,16 @@ class SweepSpec:
     pilot_shots: int | None = None
     max_bp_iterations: int = 40
     osd_order: int = 0
+    shard_timeout: float | None = None
+    max_shard_retries: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("every sweep needs a name")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        if self.max_shard_retries is not None and self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be non-negative")
         if self.method not in ("phenomenological", "circuit"):
             raise ValueError("method must be 'phenomenological' or 'circuit'")
         if self.backend not in ("packed", "bool", "native"):
@@ -135,6 +148,12 @@ class SweepSpec:
             "max_bp_iterations": self.max_bp_iterations,
             "osd_order": self.osd_order,
         }
+        # Execution-only knobs: serialised only when set, and stripped
+        # again by CampaignSpec.fingerprint() — see the class docstring.
+        if self.shard_timeout is not None:
+            payload["shard_timeout"] = self.shard_timeout
+        if self.max_shard_retries is not None:
+            payload["max_shard_retries"] = self.max_shard_retries
         if self.kind == "physical_error":
             payload["codesign"] = self.codesign
             payload["physical_error_rates"] = list(self.physical_error_rates)
@@ -152,6 +171,7 @@ class SweepSpec:
             "codesigns", "physical_error_rate", "params", "target",
             "rounds", "method", "basis", "backend", "shard_shots",
             "max_shots", "pilot_shots", "max_bp_iterations", "osd_order",
+            "shard_timeout", "max_shard_retries",
         }
         unknown = set(payload) - known
         if unknown:
@@ -261,6 +281,12 @@ class CampaignSpec:
         payload = self.to_dict()
         if budget is not None:
             payload["budget"] = int(budget)
+        # Fault-tolerance knobs shape recovery, not results (recovery is
+        # bit-identical by construction), so a store written with one
+        # retry policy must resume under any other.
+        for sweep_payload in payload["sweeps"]:
+            sweep_payload.pop("shard_timeout", None)
+            sweep_payload.pop("max_shard_retries", None)
         return fingerprint(payload)
 
 

@@ -20,14 +20,22 @@ consequences:
 
 The format is deliberately tolerant of interruption: a truncated final
 line (the process died mid-append) is skipped on load and counted in
-:attr:`ResultStore.skipped_lines`, never an error.
+:attr:`ResultStore.skipped_lines`, never an error.  Appends are
+crash-safe: each record is serialised to a single buffer and written
+with one ``write`` + flush, so a crash tears at most the final line —
+it never interleaves two records.  ``REPRO_STORE_FSYNC=1`` adds an
+``os.fsync`` per append for callers who need the record durable
+against power loss, not just process death.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
+
+from repro.parallel.faults import InjectedFault, active_plan
 
 __all__ = ["ResultStore", "fingerprint"]
 
@@ -61,16 +69,26 @@ class ResultStore:
     def __init__(self, path: "str | Path") -> None:
         self.path = Path(path)
         self.skipped_lines = 0
+        self.fsync = os.environ.get("REPRO_STORE_FSYNC") == "1"
         self._records: dict[str, dict] = {}
+        self._appends = 0
+        self._tail_open = False
         self._load()
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
         self._records.clear()
         self.skipped_lines = 0
+        self._tail_open = False
         if not self.path.exists():
             return
-        for line in self.path.read_text().splitlines():
+        text = self.path.read_text()
+        # A file not ending in a newline has a torn tail (the previous
+        # writer died mid-append).  Remember it: the next append must
+        # start on a fresh line or it would corrupt itself by
+        # concatenating onto the torn fragment.
+        self._tail_open = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
@@ -112,8 +130,29 @@ class ResultStore:
         if "key" not in record:
             raise ValueError("a store record needs a 'key'")
         record = dict(record, version=STORE_VERSION)
+        # One buffer, one write: a crash can tear the tail of this line
+        # but never interleave it with another record.  If the file
+        # already ends in a torn line, lead with a newline so the
+        # fragment stays isolated (and skippable) instead of corrupting
+        # this append by concatenation.
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._tail_open:
+            line = "\n" + line
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        plan = active_plan()
         with self.path.open("a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if plan is not None and plan.take_store_tear(self._appends):
+                # Simulated crash mid-write: persist only part of the
+                # line (no newline) and die the way a real crash would.
+                handle.write(line[:max(1, len(line) // 2)])
+                handle.flush()
+                self._tail_open = True
+                raise InjectedFault(
+                    f"store append torn after {self._appends} records")
+            handle.write(line)
             handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._tail_open = False
+        self._appends += 1
         self._records[record["key"]] = record

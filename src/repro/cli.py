@@ -33,18 +33,37 @@ Examples
     python -m repro campaign paper_figures --store figures.jsonl \
         --assert-no-sampling          # resumed: must re-sample nothing
     python -m repro speedup
+
+Exit codes
+----------
+The ``campaign`` subcommand distinguishes its outcomes (pinned by
+``tests/test_cli.py``):
+
+====  ==============================================================
+   0  success
+   1  crash (unexpected error, or an injected fault firing)
+   2  usage error (bad spec, unknown names, bad fault plan, ...)
+   3  ``--assert-no-sampling`` violated: the run sampled fresh shots
+   4  scenario oracle mismatch (minimized scenario written to disk)
+   5  interrupted gracefully (SIGINT/SIGTERM or an injected
+      interrupt): everything finalised was flushed to the store and a
+      rerun against the same store resumes the remainder
+====  ==============================================================
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from collections.abc import Sequence
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.analysis import speedup_table
 from repro.campaign import (
+    CampaignInterrupted,
     ScenarioMismatch,
     available_kinds,
     available_specs,
@@ -62,6 +81,7 @@ from repro.core import (
     sweep_physical_error,
 )
 from repro.core.results import ResultTable
+from repro.parallel.faults import FaultPlan, InjectedFault, activate
 
 __all__ = ["main", "build_parser"]
 
@@ -195,6 +215,27 @@ def build_parser() -> argparse.ArgumentParser:
              "second run against a complete store must reuse every "
              "point)",
     )
+    campaign_parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard wall-clock deadline: a shard that exceeds it "
+             "triggers a pool respawn and a deterministic re-run of the "
+             "lost shards (default: wait forever); overrides the "
+             "sweeps' own knob and never enters the store key",
+    )
+    campaign_parser.add_argument(
+        "--max-shard-retries", type=int, default=None, metavar="N",
+        help="pool respawn/resubmit rounds tolerated per run before "
+             "degrading to in-process execution (default 3; results "
+             "are bit-identical either way)",
+    )
+    campaign_parser.add_argument(
+        "--fault-plan", default=None, metavar="JSON|@PATH",
+        help="inject a deterministic fault schedule (testing/chaos "
+             "drills): JSON with any of kills, delays, "
+             "tear_after_records, sigterm_after_points — see "
+             "repro.parallel.faults; equivalently the REPRO_FAULT_PLAN "
+             "environment variable",
+    )
 
     speedup_parser = subparsers.add_parser(
         "speedup", help="parallel vs serial schedule speedups (Figure 3)"
@@ -308,15 +349,62 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError) as error:
         print(str(error), file=sys.stderr)
         return 2
+    plan = None
+    if args.fault_plan is not None:
+        try:
+            plan = FaultPlan.from_arg(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"bad --fault-plan: {error}", file=sys.stderr)
+            return 2
+
+    # Graceful interrupt: the first SIGINT/SIGTERM sets a flag the
+    # orchestrator polls between units of work (finalised points are
+    # flushed, the pool released, exit code 5) and restores the
+    # previous handlers — so a second signal kills the process the
+    # ordinary way.  Off the main thread signals cannot be wired;
+    # the campaign then simply runs without the graceful path.
+    stop_requested = False
+    previous_handlers: dict[int, object] = {}
+
+    def _request_stop(signum, frame):
+        del frame
+        nonlocal stop_requested
+        stop_requested = True
+        for signum_, handler in previous_handlers.items():
+            signal.signal(signum_, handler)
+
     try:
-        result = run_campaign(spec, store=args.store, workers=args.workers,
-                              budget=args.budget)
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _request_stop)
+    except ValueError:
+        previous_handlers = {}
+
+    try:
+        with (activate(plan) if plan is not None else nullcontext()):
+            result = run_campaign(
+                spec, store=args.store, workers=args.workers,
+                budget=args.budget,
+                shard_timeout=args.shard_timeout,
+                max_shard_retries=args.max_shard_retries,
+                stop=lambda: stop_requested,
+            )
     except ValueError as error:
         # Spec-level problems surfaced by the orchestrator (unknown
         # code/codesign names, non-positive budget override, ...) are
         # usage errors, not crashes.
         print(str(error), file=sys.stderr)
         return 2
+    except CampaignInterrupted as error:
+        print(f"interrupted: {error}", file=sys.stderr)
+        if args.store:
+            print(f"finalised points were flushed to {args.store}; "
+                  "rerun with the same spec and store to resume",
+                  file=sys.stderr)
+        return 5
+    except InjectedFault as error:
+        # A fault plan asked for a simulated crash — report it as one.
+        print(f"injected fault: {error}", file=sys.stderr)
+        return 1
     except ScenarioMismatch as error:
         # A scenario_sweep point disagreed with its reference oracle:
         # the minimized scenario is already on disk, so surface the
@@ -326,6 +414,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"minimized failure scenario: {error.path}",
                   file=sys.stderr)
         return 4
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
     for table in result.tables:
         print(table.to_text())
         print()

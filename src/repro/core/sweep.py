@@ -146,7 +146,8 @@ class AdaptivePoint:
 
 def run_adaptive_refine(points: Sequence[AdaptivePoint], global_budget: int,
                         spent: int = 0,
-                        after_round: Callable[[int], None] | None = None
+                        after_round: Callable[[int], None] | None = None,
+                        should_stop: Callable[[], bool] | None = None
                         ) -> int:
     """Allocate / refine until every point is tight or the budget is gone.
 
@@ -162,8 +163,16 @@ def run_adaptive_refine(points: Sequence[AdaptivePoint], global_budget: int,
     ``after_round(round_index)`` is invoked after each completed round
     — the campaign uses it to flush freshly finalised points to its
     result store, so an interrupted run keeps everything already tight.
+
+    ``should_stop()`` is polled before each round and before each
+    point's runner; once it returns true the engine stops cleanly
+    without starting further work (tallies accumulated so far are left
+    intact for the caller to flush) — this is the graceful-interrupt
+    hook the campaign's SIGINT/SIGTERM handling rides on.
     """
     for round_index in range(_MAX_REFINE_ROUNDS):
+        if should_stop is not None and should_stop():
+            break
         unmet = [index for index, point in enumerate(points)
                  if not point.exhausted and not point.met]
         remaining = global_budget - spent
@@ -176,6 +185,8 @@ def run_adaptive_refine(points: Sequence[AdaptivePoint], global_budget: int,
         )
         progressed = False
         for index, allocation in zip(unmet, allocations):
+            if should_stop is not None and should_stop():
+                return spent
             point = points[index]
             point_cap = point.cap - point.tally[1]
             allocation = min(point_cap, max(allocation, _MIN_REFINE_SHOTS),

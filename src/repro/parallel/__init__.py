@@ -13,13 +13,23 @@ run, for any worker count.  Two layers are available:
   already hold a syndrome batch (e.g. syndromes replayed from disk or
   produced by an external sampler).
 
+Both layers are **fault tolerant**: a dead worker (the executor breaks)
+or a timed-out shard triggers a bounded pool respawn and the lost
+shards re-run from their original seed-tree children, so results under
+any fault schedule are bit-identical to the fault-free run; when the
+pool cannot be rebuilt, execution degrades to in-process.
+:mod:`repro.parallel.faults` provides the deterministic fault-injection
+layer (:class:`FaultPlan`) the recovery machinery is tested against.
+
 See :mod:`repro.parallel.pipeline` / :mod:`repro.parallel.sharded` for
 the designs and `docs/performance.md` for the measured scaling.
 """
 
+from repro.parallel.faults import FaultPlan, InjectedFault, activate
 from repro.parallel.pipeline import (
     ExperimentHandle,
     PipelineResult,
+    PoolUnavailable,
     SharedPool,
     ShardedExperiment,
     circuit_fingerprint,
@@ -36,10 +46,14 @@ from repro.parallel.sharded import (
 __all__ = [
     "DecoderHandle",
     "ExperimentHandle",
+    "FaultPlan",
+    "InjectedFault",
     "PipelineResult",
+    "PoolUnavailable",
     "SharedPool",
     "ShardedDecoder",
     "ShardedExperiment",
+    "activate",
     "circuit_fingerprint",
     "handle_fingerprint",
     "resolve_workers",

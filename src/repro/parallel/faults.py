@@ -1,0 +1,239 @@
+"""Deterministic fault injection for the execution stack.
+
+The execution stack claims to survive worker death, shard timeouts,
+torn store tails and mid-campaign SIGTERM *bit-identically* — a claim
+worth nothing without a way to inject exactly those faults on demand.
+A :class:`FaultPlan` is a small declarative schedule of faults:
+
+* ``kills`` — task submission ordinals; the worker process that picks
+  up the N-th task submitted to a pipeline pool exits hard
+  (``os._exit``), breaking the pool mid-shard;
+* ``delays`` — ordinal → seconds; the worker sleeps before running the
+  shard (pair with ``shard_timeout`` to exercise timeout recovery);
+* ``tear_after_records`` — after that many successful
+  :class:`~repro.campaign.store.ResultStore` appends, the next append
+  writes only half its line (no newline) and raises
+  :class:`InjectedFault` — a simulated crash mid-write;
+* ``sigterm_after_points`` — after that many campaign points have been
+  finalised to the store, the orchestrator raises
+  ``CampaignInterrupted`` through the same checkpoint the real
+  SIGINT/SIGTERM handlers use, exercising the identical
+  flush/cancel/release path without delivering an OS signal.
+
+Faults are **attached parent-side**: the parent consults the active
+plan at each pool submission and ships the fault (if any) inside the
+task, so workers never parse plans and spawned processes need no
+environment propagation.  Each fault fires at most once — the retried
+shard runs clean, which is what lets the recovery machinery converge.
+
+Activation
+----------
+* tests/library: ``with activate(plan): ...`` (an explicit ``None``
+  deactivates injection for the block);
+* CLI: ``repro campaign --fault-plan '<json>'`` (or ``@path``);
+* environment: ``REPRO_FAULT_PLAN`` with the same JSON-or-``@path``
+  syntax, read once and cached.
+
+The fault-free path pays one module-global read per *run*, never per
+shard: :func:`active_plan` is cheap and everything else is gated on the
+plan being non-``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "activate",
+    "active_plan",
+    "apply_task_fault",
+]
+
+
+class InjectedFault(RuntimeError):
+    """An injected fault firing — never raised on a clean run."""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults to inject into one run.
+
+    The plan is mutable on purpose: it owns a submission counter and a
+    fired-set, so each fault fires exactly once no matter how often the
+    recovery machinery re-submits work.  ``describe`` strings appear in
+    raised :class:`InjectedFault` messages for log forensics.
+    """
+
+    kills: tuple[int, ...] = ()
+    delays: dict[int, float] = field(default_factory=dict)
+    tear_after_records: int | None = None
+    sigterm_after_points: int | None = None
+    _submitted: int = field(default=0, repr=False)
+    _fired: set = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        self.kills = tuple(int(k) for k in self.kills)
+        self.delays = {int(k): float(v) for k, v in self.delays.items()}
+        if any(k < 0 for k in self.kills):
+            raise ValueError("kill ordinals must be non-negative")
+        if any(k < 0 or v < 0 for k, v in self.delays.items()):
+            raise ValueError("delay ordinals and durations must be "
+                             "non-negative")
+
+    # ------------------------------------------------------------------
+    # Parent-side hooks.
+    def next_task_fault(self) -> tuple | None:
+        """The fault for the next pool submission, consuming its ordinal.
+
+        Returns ``("kill",)``, ``("delay", seconds)`` or ``None``; each
+        ordinal is consulted exactly once per submission, across every
+        pipeline run sharing this plan.
+        """
+        ordinal = self._submitted
+        self._submitted += 1
+        if ordinal in self.kills and ("kill", ordinal) not in self._fired:
+            self._fired.add(("kill", ordinal))
+            return ("kill",)
+        if ordinal in self.delays and ("delay", ordinal) not in self._fired:
+            self._fired.add(("delay", ordinal))
+            return ("delay", self.delays[ordinal])
+        return None
+
+    def take_store_tear(self, appends_so_far: int) -> bool:
+        """True exactly once, when the append after ``tear_after_records``
+        successful appends is about to happen."""
+        if (self.tear_after_records is not None
+                and appends_so_far >= self.tear_after_records
+                and "tear" not in self._fired):
+            self._fired.add("tear")
+            return True
+        return False
+
+    def take_sigterm(self, points_finalized: int) -> bool:
+        """True exactly once, when ``points_finalized`` reaches the
+        planned interrupt point."""
+        if (self.sigterm_after_points is not None
+                and points_finalized >= self.sigterm_after_points
+                and "sigterm" not in self._fired):
+            self._fired.add("sigterm")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (the CLI/env wire format).
+    def to_dict(self) -> dict:
+        payload: dict = {}
+        if self.kills:
+            payload["kills"] = list(self.kills)
+        if self.delays:
+            payload["delays"] = {str(k): v for k, v in self.delays.items()}
+        if self.tear_after_records is not None:
+            payload["tear_after_records"] = self.tear_after_records
+        if self.sigterm_after_points is not None:
+            payload["sigterm_after_points"] = self.sigterm_after_points
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        known = {"kills", "delays", "tear_after_records",
+                 "sigterm_after_points"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys {sorted(unknown)}")
+        return cls(
+            kills=tuple(payload.get("kills", ())),
+            delays=dict(payload.get("delays", {})),
+            tear_after_records=payload.get("tear_after_records"),
+            sigterm_after_points=payload.get("sigterm_after_points"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_arg(cls, arg: str) -> "FaultPlan":
+        """Parse a CLI/env value: inline JSON, or ``@path`` to a file."""
+        arg = arg.strip()
+        if arg.startswith("@"):
+            return cls.from_json(Path(arg[1:]).read_text())
+        return cls.from_json(arg)
+
+
+# ----------------------------------------------------------------------
+# Activation: an explicit plan (tests, CLI) wins over the environment.
+
+#: Sentinel distinguishing "nothing activated" from "activated None"
+#: (the latter disables env-based injection inside the block).
+_UNSET = object()
+_ACTIVE: object = _UNSET
+_ENV_PLAN: object = _UNSET
+
+
+def _env_plan() -> FaultPlan | None:
+    global _ENV_PLAN
+    if _ENV_PLAN is _UNSET:
+        raw = os.environ.get("REPRO_FAULT_PLAN")
+        _ENV_PLAN = FaultPlan.from_arg(raw) if raw else None
+    return _ENV_PLAN
+
+
+def active_plan() -> FaultPlan | None:
+    """The fault plan in effect, or ``None`` on a clean run."""
+    if _ACTIVE is not _UNSET:
+        return _ACTIVE  # type: ignore[return-value]
+    return _env_plan()
+
+
+@contextmanager
+def activate(plan: FaultPlan | None):
+    """Install ``plan`` as the active fault plan for the block.
+
+    ``activate(None)`` suppresses any environment-provided plan — the
+    way a test guarantees a clean reference run.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def reset_env_cache() -> None:
+    """Forget the cached ``REPRO_FAULT_PLAN`` parse (test helper)."""
+    global _ENV_PLAN
+    _ENV_PLAN = _UNSET
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution of a shipped fault.
+
+def apply_task_fault(fault: tuple | None) -> None:
+    """Execute a fault shipped inside a pool task (worker side).
+
+    ``("kill",)`` exits the worker process without cleanup — the
+    closest deterministic stand-in for an OOM kill or segfault, and
+    exactly what makes ``ProcessPoolExecutor`` raise
+    ``BrokenProcessPool`` on every pending future.  ``("delay", s)``
+    sleeps before the shard runs.
+    """
+    if fault is None:
+        return
+    if fault[0] == "kill":
+        os._exit(1)
+    if fault[0] == "delay":
+        time.sleep(float(fault[1]))
+        return
+    raise ValueError(f"unknown injected fault {fault!r}")

@@ -91,8 +91,9 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait
 from dataclasses import dataclass, field
+from time import monotonic
 
 import numpy as np
 
@@ -101,11 +102,13 @@ from repro.core.phenomenological import sample_phenomenological_shard
 from repro.core.stats import PrecisionTarget, as_precision_target, binomial_interval
 from repro.linalg.bitops import pack_bits, packed_matmul
 from repro.linalg.native import simulation_backend
+from repro.parallel.faults import active_plan, apply_task_fault
 from repro.parallel.sharded import DecoderHandle, resolve_workers
 from repro.sim.frame import sample_circuit_shard
 
 __all__ = [
     "ExperimentHandle",
+    "PoolUnavailable",
     "SharedPool",
     "ShardedExperiment",
     "PipelineResult",
@@ -114,6 +117,13 @@ __all__ = [
     "shard_layout",
     "shard_seed_tree",
 ]
+
+
+class PoolUnavailable(RuntimeError):
+    """The worker pool died and could not be rebuilt within its retry
+    budget.  The pipeline recovers by draining the remaining shards
+    in-process (bit-identically — each shard is a pure function of its
+    seed), so callers only see this if they ask the pool directly."""
 
 
 def shard_layout(shots: int, shard_shots: int) -> list[int]:
@@ -423,16 +433,19 @@ def _resolve_worker_circuit(circuit: Circuit | None,
 def _run_pipeline_shard(priors: np.ndarray, circuit: Circuit | None,
                         circuit_key: str | None,
                         seed: np.random.SeedSequence, shots: int,
-                        collect_errors: bool
+                        collect_errors: bool, fault: tuple | None = None
                         ) -> tuple[int, np.ndarray, np.ndarray | None]:
     """Sample and decode one shard inside a worker process.
 
     ``circuit`` is the optional payload populating this worker's cache
     under ``circuit_key``; a keyed task without payload resolves the
     circuit from the cache or raises :class:`_CircuitCacheMiss` for the
-    parent to retry with the payload attached.
+    parent to retry with the payload attached.  ``fault`` is an
+    injected fault shipped by the parent (worker kill / delay — see
+    :mod:`repro.parallel.faults`); ``None`` on every clean run.
     """
     global _WORKER_STATE
+    apply_task_fault(fault)
     if _WORKER_HANDLE is None:
         raise RuntimeError("worker pool was not initialised with a handle")
     if _WORKER_STATE is None:
@@ -460,7 +473,7 @@ def _run_shared_shard(handle: ExperimentHandle | None, handle_key: str,
                       priors: np.ndarray, circuit: Circuit | None,
                       circuit_key: str | None,
                       seed: np.random.SeedSequence, shots: int,
-                      collect_errors: bool
+                      collect_errors: bool, fault: tuple | None = None
                       ) -> tuple[int, np.ndarray, np.ndarray | None]:
     """Shared-pool variant of :func:`_run_pipeline_shard`.
 
@@ -469,8 +482,10 @@ def _run_shared_shard(handle: ExperimentHandle | None, handle_key: str,
     experiment's first ``workers`` tasks).  A key-only task that misses
     raises :class:`_HandleCacheMiss` for the parent to retry with the
     payload attached — the retried shard runs the identical
-    ``(priors, seed, shots)``, so the result is unchanged.
+    ``(priors, seed, shots)``, so the result is unchanged.  ``fault``
+    is a parent-shipped injected fault (``None`` on clean runs).
     """
+    apply_task_fault(fault)
     state = _SHARED_STATES.get(handle_key)
     if state is None:
         if handle is None:
@@ -498,15 +513,32 @@ class SharedPool:
     ``MemoryExperiment(pool=...)``); the experiments then treat the
     pool as externally owned — their ``close()`` leaves it running.
     Use as a context manager, or call :meth:`close`, to shut it down.
+
+    The pool is **self-healing**: when a worker dies (``os._exit``,
+    OOM kill, segfault) the executor breaks, and :meth:`rebuild`
+    respawns it — up to ``max_rebuilds`` times over the pool's
+    lifetime, after which the pool is marked :attr:`failed` and every
+    experiment bound to it degrades to in-process execution (results
+    stay bit-identical; only the wall clock suffers).
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None,
+                 max_rebuilds: int = 2) -> None:
         self.workers = resolve_workers(workers)
+        self.max_rebuilds = int(max_rebuilds)
+        self.rebuilds = 0
         self._executor = None
+        self._failed = False
+        self._closed = False
 
     @property
     def executor(self):
         """The lazily created ``ProcessPoolExecutor``."""
+        if self._closed:
+            raise RuntimeError("shared pool is closed")
+        if self._failed:
+            raise PoolUnavailable(
+                f"shared pool gave up after {self.rebuilds} rebuilds")
         if self._executor is None:
             from concurrent.futures import ProcessPoolExecutor
             self._executor = ProcessPoolExecutor(
@@ -515,8 +547,34 @@ class SharedPool:
             )
         return self._executor
 
+    @property
+    def failed(self) -> bool:
+        """True once the rebuild budget is exhausted — callers should
+        run in-process instead of submitting to this pool."""
+        return self._failed
+
+    def rebuild(self):
+        """Tear down a broken executor and respawn it (bounded).
+
+        Raises :class:`PoolUnavailable` — and marks the pool
+        :attr:`failed` — once ``max_rebuilds`` respawns have been
+        spent.  The freshly spawned workers start with empty state
+        caches, so callers must re-ship their payloads.
+        """
+        if self._executor is not None:
+            # The pool is broken: don't wait on it, just drop it.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self.rebuilds >= self.max_rebuilds:
+            self._failed = True
+            raise PoolUnavailable(
+                f"shared pool gave up after {self.rebuilds} rebuilds")
+        self.rebuilds += 1
+        return self.executor
+
     def close(self) -> None:
-        """Shut down the pool (idempotent)."""
+        """Shut down the pool (idempotent; the pool is unusable after)."""
+        self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
@@ -526,6 +584,12 @@ class SharedPool:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __del__(self) -> None:  # pragma: no cover - GC backstop
         try:
@@ -558,6 +622,25 @@ class ShardedExperiment:
         and :meth:`close` leaves the pool running (it is owned by the
         caller, typically a campaign spanning several experiments).
         Results are bit-identical with or without a shared pool.
+    shard_timeout:
+        Optional per-shard wall-clock limit (seconds).  A shard still
+        pending past its deadline is treated exactly like a pool
+        failure: the executor is rebuilt and the lost shards re-run
+        with the same seed-tree children.  ``None`` (default) never
+        times out — set it well above the slowest honest shard.
+    max_shard_retries:
+        How many pool failures (worker death / timeout) one :meth:`run`
+        tolerates before degrading to in-process execution (default 3).
+
+    Fault tolerance: a dead worker breaks the whole
+    ``ProcessPoolExecutor``; the run detects it (``BrokenExecutor`` or
+    a ``shard_timeout`` expiry), respawns the executor (its own, or
+    ``pool.rebuild()``), and re-submits every lost shard with its
+    payload re-attached.  The retried shards run the identical
+    ``(priors, seed, shots)``, and folds stay in shard-index order, so
+    **results under any fault schedule are bit-identical to the
+    fault-free run**.  When the pool cannot be rebuilt the remaining
+    shards drain in-process (``last_run_stats["local_fallback"]``).
 
     The executor is created lazily on the first multi-shard run and
     reused across calls (a sweep pays the process-spawn cost once);
@@ -571,6 +654,8 @@ class ShardedExperiment:
     workers: int | None = None
     shard_shots: int | None = None
     pool: SharedPool | None = None
+    shard_timeout: float | None = None
+    max_shard_retries: int | None = None
     last_run_stats: dict = field(default_factory=dict, init=False,
                                  repr=False, compare=False)
     _executor: object | None = field(default=None, init=False, repr=False)
@@ -579,6 +664,7 @@ class ShardedExperiment:
     _circuit_key_memo: tuple | None = field(default=None, init=False,
                                             repr=False)
     _handle_key: str | None = field(default=None, init=False, repr=False)
+    _pool_gone: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.pool is not None:
@@ -589,6 +675,12 @@ class ShardedExperiment:
             self.shard_shots = self.handle.decoder.block_shots
         if self.shard_shots < 1:
             raise ValueError("shard_shots must be positive")
+        if self.max_shard_retries is None:
+            self.max_shard_retries = 3
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if self.max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be non-negative")
 
     # ------------------------------------------------------------------
     @property
@@ -659,14 +751,25 @@ class ShardedExperiment:
             "circuit_cache_misses": 0,
             "handle_payload_tasks": 0,
             "handle_cache_misses": 0,
+            "pool_failures": 0,
+            "shard_timeouts": 0,
+            "shards_resubmitted": 0,
+            "local_fallback": False,
         }
         tally_failures = prior_failures
         tally_shots = prior_shots
         met = target.met(tally_failures, tally_shots) if target else False
         outcomes: list[tuple] = []
 
+        # A pool that already exhausted its rebuild budget (this run's
+        # or a previous one's) is not worth submitting to: run the
+        # identical per-shard code in-process instead.
+        pool_dead = (self._pool_gone
+                     or (self.pool is not None and self.pool.failed))
+        if pool_dead:
+            stats["local_fallback"] = True
         if not met:
-            if self.workers <= 1 or len(sizes) <= 1:
+            if self.workers <= 1 or len(sizes) <= 1 or pool_dead:
                 outcomes, met = self._run_local(sizes, seeds, priors, circuit,
                                                 collect_errors, target,
                                                 tally_failures, tally_shots,
@@ -736,6 +839,15 @@ class ShardedExperiment:
         shard — and everything derived from it — matches `_run_local`
         bit for bit; completion order decides nothing but how much
         beyond-prefix work gets discarded.
+
+        Fault tolerance: ``BrokenExecutor`` (a worker died) and shard
+        timeouts both funnel into :func:`recover` — drop every pending
+        future, respawn the executor and re-submit the lost shards with
+        payloads re-attached.  The retried shards run the identical
+        ``(priors, seed, shots)``, so no fault schedule can change the
+        folded prefix.  When the retry budget is spent, the remaining
+        shards drain in-process (still in index order, still
+        bit-identical).
         """
         needs_circuit = self.handle.method == "circuit"
         circuit_key = None
@@ -747,6 +859,7 @@ class ShardedExperiment:
         if shared and self._handle_key is None:
             self._handle_key = handle_fingerprint(self.handle)
         executor = self._ensure_executor()
+        plan = active_plan()
         # Enough in-flight work to keep every worker busy while the
         # prefix folds, small enough that an early stop wastes at most
         # ~two shards per worker.
@@ -757,6 +870,7 @@ class ShardedExperiment:
         payload_quota = self.workers if (needs_circuit or shared) else 0
 
         pending: dict = {}
+        deadlines: dict = {}
         ready: dict[int, tuple] = {}
         retries: dict[int, int] = {}
         outcomes: list[tuple] = []
@@ -768,6 +882,7 @@ class ShardedExperiment:
             if payload is not None:
                 stats["circuit_payload_tasks"] += 1
             stats["tasks_submitted"] += 1
+            fault = plan.next_task_fault() if plan is not None else None
             if shared:
                 handle = self.handle if with_payload else None
                 if handle is not None:
@@ -775,22 +890,55 @@ class ShardedExperiment:
                 future = executor.submit(
                     _run_shared_shard, handle, self._handle_key, priors,
                     payload, circuit_key, seeds[index], sizes[index],
-                    collect_errors,
+                    collect_errors, fault,
                 )
             else:
                 future = executor.submit(
                     _run_pipeline_shard, priors, payload, circuit_key,
-                    seeds[index], sizes[index], collect_errors,
+                    seeds[index], sizes[index], collect_errors, fault,
                 )
             pending[future] = index
+            if self.shard_timeout is not None:
+                deadlines[future] = monotonic() + self.shard_timeout
+
+        def recover(extra_lost=()) -> None:
+            """Pool failure: respawn the executor, re-submit lost shards.
+
+            Every shard not yet in ``ready``/``outcomes`` — pending
+            futures plus any index the caller already popped — re-runs
+            with its original seed-tree child, and the fresh workers'
+            empty caches get the payloads re-shipped, so recovery is
+            invisible to the folded result.
+            """
+            nonlocal executor, payload_quota
+            stats["pool_failures"] += 1
+            if stats["pool_failures"] > self.max_shard_retries:
+                raise PoolUnavailable(
+                    f"worker pool failed {stats['pool_failures']} times "
+                    f"(max_shard_retries={self.max_shard_retries})")
+            lost = sorted(set(pending.values()) | set(extra_lost))
+            for future in pending:
+                future.cancel()
+            pending.clear()
+            deadlines.clear()
+            executor = self._rebuild_executor()
+            payload_quota = (self.workers if (needs_circuit or shared)
+                             else 0)
+            stats["shards_resubmitted"] += len(lost)
+            for index in lost:
+                submit(index, with_payload=payload_quota > 0)
+                payload_quota = max(0, payload_quota - 1)
 
         try:
             while True:
-                while (next_submit < len(sizes)
-                       and len(pending) < max_inflight):
-                    submit(next_submit, with_payload=payload_quota > 0)
-                    payload_quota = max(0, payload_quota - 1)
-                    next_submit += 1
+                try:
+                    while (next_submit < len(sizes)
+                           and len(pending) < max_inflight):
+                        submit(next_submit, with_payload=payload_quota > 0)
+                        payload_quota = max(0, payload_quota - 1)
+                        next_submit += 1
+                except BrokenExecutor:
+                    recover()
                 while len(outcomes) in ready:
                     outcome = ready.pop(len(outcomes))
                     outcomes.append(outcome)
@@ -802,9 +950,30 @@ class ShardedExperiment:
                         break
                 if met or len(outcomes) == len(sizes):
                     break
-                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                if not pending:
+                    # A recovery emptied the in-flight window; loop back
+                    # to the top-up before waiting on anything.
+                    continue
+                if self.shard_timeout is not None:
+                    wait_budget = min(deadlines.values()) - monotonic()
+                    if wait_budget <= 0:
+                        stats["shard_timeouts"] += 1
+                        recover()
+                        continue
+                    done, _ = wait(list(pending), timeout=wait_budget,
+                                   return_when=FIRST_COMPLETED)
+                    if not done:
+                        # Nothing completed within the tightest
+                        # deadline: the overdue shard is stuck.
+                        stats["shard_timeouts"] += 1
+                        recover()
+                        continue
+                else:
+                    done, _ = wait(list(pending),
+                                   return_when=FIRST_COMPLETED)
                 for future in done:
                     index = pending.pop(future)
+                    deadlines.pop(future, None)
                     try:
                         ready[index] = future.result()
                         stats["shards_run"] += 1
@@ -819,6 +988,32 @@ class ShardedExperiment:
                             raise
                         retries[index] = retries.get(index, 0) + 1
                         submit(index, with_payload=True)
+                    except BrokenExecutor:
+                        # A worker died; the popped shard is lost along
+                        # with everything still pending.
+                        recover(extra_lost=(index,))
+                        break
+        except PoolUnavailable:
+            # Retry budget spent: drain the remaining shards in-process,
+            # keeping everything already folded or buffered.  Each shard
+            # is a pure function of (priors, seed, shots), so the result
+            # is still bit-identical to a clean run.
+            stats["local_fallback"] = True
+            self._pool_gone = self.pool is None
+            while not met and len(outcomes) < len(sizes):
+                index = len(outcomes)
+                outcome = ready.pop(index, None)
+                if outcome is None:
+                    outcome = self.local_state.run_shard(
+                        priors, circuit, seeds[index], sizes[index],
+                        collect_errors)
+                    stats["shards_run"] += 1
+                outcomes.append(outcome)
+                tally_failures += outcome[0]
+                tally_shots += sizes[index]
+                if target is not None and target.met(tally_failures,
+                                                     tally_shots):
+                    met = True
         finally:
             # Early stop or error: whatever is still queued is wasted
             # work — cancel it (running shards finish and are ignored).
@@ -838,6 +1033,16 @@ class ShardedExperiment:
                 initargs=(self.handle,),
             )
         return self._executor
+
+    def _rebuild_executor(self):
+        """Respawn a broken executor (dedicated: drop + recreate; shared:
+        the pool's bounded :meth:`SharedPool.rebuild`)."""
+        if self.pool is not None:
+            return self.pool.rebuild()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        return self._ensure_executor()
 
     # ------------------------------------------------------------------
     def close(self) -> None:

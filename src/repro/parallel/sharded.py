@@ -30,7 +30,7 @@ Design
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -143,6 +143,11 @@ class ShardedDecoder:
         Shots per shard (default: the handle's ``block_shots``).  More
         shards than workers keeps the pool load-balanced when shards
         decode at different speeds (OSD-heavy shards are slower).
+    max_rebuilds:
+        How many times one :meth:`decode_batch` call respawns a broken
+        pool (a worker died mid-decode) before falling back to the
+        in-process decoder.  Decoding is deterministic per shard, so a
+        retried batch is bit-identical either way.
 
     The executor is created lazily on the first multi-worker decode and
     reused across calls — a sweep pays the process-spawn cost once.
@@ -153,6 +158,7 @@ class ShardedDecoder:
     handle: DecoderHandle
     workers: int | None = None
     shard_shots: int | None = None
+    max_rebuilds: int = 2
     _executor: ProcessPoolExecutor | None = field(
         default=None, init=False, repr=False)
     _local: BPOSDDecoder | None = field(default=None, init=False, repr=False)
@@ -183,6 +189,22 @@ class ShardedDecoder:
         shots = syndromes.shape[0]
         if self.workers <= 1 or shots <= self.shard_shots:
             return self._decode_local(syndromes)
+        # A dead worker breaks the whole pool mid-batch; decoding is a
+        # pure function of (priors, syndromes), so the recovery is
+        # simply: respawn the pool (bounded) and re-decode the batch,
+        # falling back to the in-process decoder when the pool keeps
+        # dying.  Either way the merged result is bit-identical.
+        for _ in range(self.max_rebuilds + 1):
+            try:
+                return self._decode_pooled(syndromes, shots)
+            except BrokenExecutor:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False, cancel_futures=True)
+                    self._executor = None
+        return self._decode_local(syndromes)
+
+    def _decode_pooled(self, syndromes: np.ndarray,
+                       shots: int) -> DecodeResult:
         executor = self._ensure_executor()
         futures = [
             executor.submit(_decode_shard, self.handle.priors,

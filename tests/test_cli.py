@@ -196,7 +196,7 @@ class TestCampaignScenarioMismatch:
         scenario = generate_scenario(3, 0, shots=16)
         path = write_failure_scenario(scenario, tmp_path, reason="injected")
 
-        def failing_campaign(spec, store=None, workers=1, budget=None):
+        def failing_campaign(spec, **kwargs):
             raise ScenarioMismatch("injected oracle mismatch", scenario,
                                    path)
 
@@ -205,3 +205,93 @@ class TestCampaignScenarioMismatch:
         err = capsys.readouterr().err
         assert "injected oracle mismatch" in err
         assert f"minimized failure scenario: {path}" in err
+
+
+class TestCampaignFaultExitCodes:
+    """The campaign exit-code table (0/1/2/3/4/5) is a CLI contract."""
+
+    def test_bad_fault_plan_exits_2(self, capsys):
+        assert main(["campaign", "ci_smoke",
+                     "--fault-plan", '{"bogus": 1}']) == 2
+        assert "bad --fault-plan" in capsys.readouterr().err
+
+    def test_injected_crash_exits_1(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        code = main(["campaign", "ci_smoke", "--store", str(store),
+                     "--fault-plan", '{"tear_after_records": 0}'])
+        assert code == 1
+        assert "injected fault" in capsys.readouterr().err
+        # The torn tail is exactly that: a file not ending in a newline.
+        assert store.exists()
+        assert not store.read_text().endswith("\n")
+
+    def test_injected_interrupt_exits_5_and_resume_completes(
+            self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        code = main(["campaign", "ci_smoke", "--store", str(store),
+                     "--fault-plan", '{"sigterm_after_points": 1}'])
+        err = capsys.readouterr().err
+        assert code == 5
+        assert "interrupted" in err
+        assert "rerun with the same spec and store to resume" in err
+        # The interrupted run flushed its finalised points; a clean
+        # rerun resumes them and finishes with exit 0.
+        assert main(["campaign", "ci_smoke", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "reused from the store" in out
+
+    def test_sigterm_mid_run_sets_stop_flag(self, monkeypatch, capsys):
+        """The handlers wire the OS signal to the orchestrator's stop
+        callback: deliver a real SIGTERM while run_campaign is 'running'
+        and observe stop() flipping, then exit 5."""
+        import signal as signal_module
+
+        import repro.cli as cli_module
+        from repro.campaign import CampaignInterrupted
+
+        observed = {}
+
+        def fake_campaign(spec, stop=None, **kwargs):
+            assert stop is not None and not stop()
+            signal_module.raise_signal(signal_module.SIGTERM)
+            observed["stopped"] = stop()
+            raise CampaignInterrupted("stopped by test")
+
+        monkeypatch.setattr(cli_module, "run_campaign", fake_campaign)
+        assert main(["campaign", "ci_smoke"]) == 5
+        assert observed["stopped"] is True
+        assert "stopped by test" in capsys.readouterr().err
+
+    def test_signal_handlers_restored_after_run(self, monkeypatch):
+        import signal as signal_module
+
+        import repro.cli as cli_module
+
+        def fake_campaign(spec, **kwargs):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(cli_module, "run_campaign", fake_campaign)
+        before = {s: signal_module.getsignal(s)
+                  for s in (signal_module.SIGINT, signal_module.SIGTERM)}
+        assert main(["campaign", "ci_smoke"]) == 2
+        after = {s: signal_module.getsignal(s)
+                 for s in (signal_module.SIGINT, signal_module.SIGTERM)}
+        assert before == after
+
+    def test_fault_knobs_reach_run_campaign(self, monkeypatch, capsys,
+                                            tmp_path):
+        import repro.cli as cli_module
+        from repro.campaign import run_campaign as real_campaign
+
+        seen = {}
+
+        def spying_campaign(spec, **kwargs):
+            seen.update(kwargs)
+            return real_campaign(spec, **kwargs)
+
+        monkeypatch.setattr(cli_module, "run_campaign", spying_campaign)
+        assert main(["campaign", "ci_smoke", "--shard-timeout", "30",
+                     "--max-shard-retries", "5"]) == 0
+        capsys.readouterr()
+        assert seen["shard_timeout"] == 30.0
+        assert seen["max_shard_retries"] == 5

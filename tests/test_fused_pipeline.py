@@ -29,6 +29,7 @@ from repro.noise import HardwareNoiseModel
 from repro.parallel import (
     DecoderHandle,
     ExperimentHandle,
+    SharedPool,
     ShardedExperiment,
     shard_layout,
     shard_seed_tree,
@@ -330,3 +331,46 @@ class TestMemoryExperimentFusedPipeline:
         assert a.shots == b.shots
         # ...but the realisations differ (with overwhelming probability).
         assert a.metadata["num_shards"] != b.metadata["num_shards"]
+
+
+class TestSharedPoolLifecycle:
+    """Close/``__del__`` idempotency and survival of worker exceptions
+    when one pool is shared across sweeps."""
+
+    def test_close_is_idempotent(self):
+        pool = SharedPool(2)
+        assert pool.workers == 2
+        pool.close()
+        pool.close()  # second close must be a no-op
+        with pytest.raises(RuntimeError):
+            _ = pool.executor
+
+    def test_del_after_close_is_silent(self):
+        pool = SharedPool(2)
+        pool.close()
+        pool.__del__()  # GC backstop after an explicit close
+
+    def test_context_manager_closes(self):
+        with SharedPool(2) as pool:
+            assert pool.executor is not None
+        with pytest.raises(RuntimeError):
+            _ = pool.executor
+
+    def test_pool_survives_worker_exception_across_sweeps(self, phen_model):
+        """A worker exception (bad priors shape) must propagate to the
+        caller without poisoning the shared pool: the next sweep on the
+        same pool runs and stays bit-identical to a fresh-pool run."""
+        handle = _phen_handle(phen_model)
+        reference = None
+        with ShardedExperiment(handle, workers=2,
+                               shard_shots=48) as fresh:
+            reference = fresh.run(220, 7, collect_errors=True)
+        with SharedPool(2) as pool:
+            first = ShardedExperiment(handle, pool=pool, shard_shots=48)
+            with pytest.raises(Exception):
+                first.run(220, 7, priors=np.ones(3) * 0.1)  # wrong shape
+            second = ShardedExperiment(handle, pool=pool, shard_shots=48)
+            result = second.run(220, 7, collect_errors=True)
+            assert not pool.failed
+        assert result.failures == reference.failures
+        assert np.array_equal(result.errors, reference.errors)
