@@ -22,11 +22,29 @@ randomized differential-testing ``scenario_sweep`` kind
 scenarios bit-for-bit against a reference-backend oracle and minimizes
 any mismatch to a replayable JSON file.
 
+Campaigns also scale *out*: ``repro campaign --join`` turns N
+processes (on N hosts sharing one store file) into cooperating
+workers that partition the budget by claiming points under TTL'd
+leases (:mod:`repro.campaign.coordination` — :class:`LeaseManager`,
+:class:`WorkerIdentity`), heartbeat renewals while sampling, reclaim
+expired leases deterministically, and produce tables byte-identical
+to a single joined worker.  Per-host stores fold together with
+:func:`merge_stores`; :func:`verify_store` / :func:`repair_store`
+back the ``repro store`` CLI.
+
 See ``docs/campaigns.md`` for the spec format, budget semantics, resume
 guarantees and the kind registry, and ``repro campaign --help`` for the
 CLI.
 """
 
+from repro.campaign.coordination import (
+    LeaseLost,
+    LeaseManager,
+    WorkerIdentity,
+    merge_stores,
+    repair_store,
+    verify_store,
+)
 from repro.campaign.kinds import (
     ExpandedPoint,
     KindParam,
@@ -41,6 +59,7 @@ from repro.campaign.kinds import (
 from repro.campaign.orchestrator import (
     CampaignInterrupted,
     CampaignResult,
+    JoinedCampaign,
     run_campaign,
 )
 from repro.campaign.scenarios import (
@@ -59,20 +78,25 @@ from repro.campaign.spec import (
     builtin_spec,
     load_spec,
 )
-from repro.campaign.store import ResultStore, fingerprint
+from repro.campaign.store import Lease, ResultStore, fingerprint
 
 __all__ = [
     "CampaignInterrupted",
     "CampaignResult",
     "CampaignSpec",
     "ExpandedPoint",
+    "JoinedCampaign",
     "KindParam",
+    "Lease",
+    "LeaseLost",
+    "LeaseManager",
     "OracleCheck",
     "ResultStore",
     "Scenario",
     "ScenarioMismatch",
     "SweepKind",
     "SweepSpec",
+    "WorkerIdentity",
     "available_kinds",
     "available_specs",
     "builtin_spec",
@@ -82,10 +106,13 @@ __all__ = [
     "kind_params",
     "load_scenario",
     "load_spec",
+    "merge_stores",
     "minimize_scenario",
     "register_kind",
+    "repair_store",
     "run_campaign",
     "run_scenario",
     "run_sweep_kind",
+    "verify_store",
     "write_failure_scenario",
 ]

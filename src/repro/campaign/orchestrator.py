@@ -49,11 +49,17 @@ Results are bit-identical for any worker count.
 
 from __future__ import annotations
 
+import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.campaign.coordination import (
+    LeaseLost,
+    LeaseManager,
+    WorkerIdentity,
+)
 from repro.campaign.kinds import ExpandedPoint, OracleCheck, kind_by_name
 from repro.campaign.scenarios import report_scenario_mismatch
 from repro.campaign.spec import CampaignSpec, SweepSpec
@@ -72,7 +78,8 @@ from repro.parallel.faults import active_plan
 from repro.parallel.pipeline import SharedPool
 from repro.parallel.sharded import resolve_workers
 
-__all__ = ["CampaignInterrupted", "CampaignResult", "run_campaign"]
+__all__ = ["CampaignInterrupted", "CampaignResult", "JoinedCampaign",
+           "run_campaign"]
 
 
 class CampaignInterrupted(RuntimeError):
@@ -146,6 +153,14 @@ class CampaignResult:
     budget exactly as they did when first sampled).  ``points_total``
     and ``targets_met`` count *sampled* points only — analytic rows
     (``compiler_comparison``, ``swap_kind``) have no budget story.
+
+    Joined (multi-host) runs add three fields: ``shots_external``
+    counts points finalised *by other workers* during this run (so
+    every worker's ``spent`` reports the same global total and writes
+    byte-identical summaries); ``shots_forfeited`` counts work this
+    worker discarded after losing a lease mid-point (outside ``spent``
+    — the usurper's final record carries those shots); ``worker`` is
+    this process's lease identity.
     """
 
     spec: CampaignSpec
@@ -158,10 +173,14 @@ class CampaignResult:
     targets_met: int
     store_path: str | None = None
     shots_replayed: int = 0
+    shots_external: int = 0
+    shots_forfeited: int = 0
+    worker: str | None = None
 
     @property
     def spent(self) -> int:
-        return self.shots_sampled + self.shots_reused + self.shots_replayed
+        return (self.shots_sampled + self.shots_reused
+                + self.shots_replayed + self.shots_external)
 
     def summary_table(self) -> ResultTable:
         """Per-sweep rollup.  Deliberately free of the sampled/reused
@@ -194,10 +213,13 @@ class CampaignResult:
             "shots_sampled": self.shots_sampled,
             "shots_reused": self.shots_reused,
             "shots_replayed": self.shots_replayed,
+            "shots_external": self.shots_external,
+            "shots_forfeited": self.shots_forfeited,
             "points_total": self.points_total,
             "points_reused": self.points_reused,
             "targets_met": self.targets_met,
             "store": self.store_path,
+            "worker": self.worker,
         }
 
 
@@ -298,6 +320,33 @@ def _expand_points(spec: CampaignSpec, budget: int,
     return points
 
 
+def _partition_points(points: list[_CampaignPoint], budget: int) -> None:
+    """Statically partition the global budget across the sampled points.
+
+    Joined (multi-host) mode cannot run the *global* variance-weighted
+    allocator — it would need every worker's live tallies, exactly the
+    coordination traffic the design forbids.  Instead each point gets a
+    fixed share (budget // n, remainder to the earliest points) as its
+    cap, and each point's pilot/refine schedule becomes a pure function
+    of that point alone — so any worker that claims it produces the
+    bit-identical tally, and ``--join`` with N hosts equals ``--join``
+    with one.  The share, the clamped pilot and a ``coordination``
+    marker are folded into the point's params (and thus its store key),
+    so joined records and plain-campaign records never cross-match.
+    """
+    sampled = [point for point in points if point.sampled]
+    if not sampled:
+        return
+    base, remainder = divmod(budget, len(sampled))
+    for index, point in enumerate(sampled):
+        share = max(1, base + (1 if index < remainder else 0))
+        point.cap = max(1, min(point.cap, share))
+        point.pilot = max(1, min(point.pilot, point.cap))
+        point.params = dict(point.params, cap=point.cap, pilot=point.pilot,
+                            coordination="lease-v1")
+        point.key = fingerprint(point.params)
+
+
 def _build_tables(spec: CampaignSpec,
                   points: list[_CampaignPoint]) -> list[ResultTable]:
     tables = []
@@ -327,13 +376,390 @@ def _build_tables(spec: CampaignSpec,
     return tables
 
 
+class JoinedCampaign:
+    """One joined worker's view of a multi-host campaign.
+
+    N of these (one per host/process, sharing one store file) cooperate
+    through the lease protocol: each scans for points without a final
+    record, claims a batch whose leases are free or expired, runs each
+    claimed point to completion under heartbeat renewals, and releases.
+    The budget is statically partitioned per point
+    (:func:`_partition_points`), so every point's schedule is a pure
+    function of the point — whichever worker runs it, the tally and
+    therefore the tables are bit-identical, and N workers produce the
+    same tables as one.
+
+    A context manager (owns the worker pool and experiment cache):
+
+    >>> with JoinedCampaign(spec, store, worker=identity) as joined:
+    ...     result = joined.run()
+
+    ``step()`` performs a single scheduling iteration (claim + run one
+    batch) and returns a status string — the unit tests drive two
+    workers by alternating ``step()`` calls.  ``clock`` and ``sleep``
+    are injectable for deterministic expiry tests.
+    """
+
+    def __init__(self, spec: CampaignSpec,
+                 store: "ResultStore | str",
+                 worker: WorkerIdentity | None = None,
+                 workers: int = 1,
+                 budget: int | None = None,
+                 lease_ttl: float | None = None,
+                 claim_batch: int | None = None,
+                 poll_interval: float | None = None,
+                 shard_timeout: float | None = None,
+                 max_shard_retries: int | None = None,
+                 stop=None,
+                 clock=time.time,
+                 sleep=time.sleep) -> None:
+        spec.validate_names()
+        if store is None:
+            raise ValueError("a joined campaign requires a shared store")
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.spec = spec
+        self.store = store
+        self.worker = worker if worker is not None else \
+            WorkerIdentity.generate()
+        self.budget = int(budget) if budget is not None else spec.budget
+        if self.budget < 1:
+            raise ValueError("budget must be a positive shot count")
+        ttl = (float(lease_ttl) if lease_ttl is not None
+               else spec.lease_ttl if spec.lease_ttl is not None else 60.0)
+        batch = (int(claim_batch) if claim_batch is not None
+                 else spec.claim_batch if spec.claim_batch is not None
+                 else 2)
+        if batch < 1:
+            raise ValueError("claim batch must be positive")
+        self.claim_batch = batch
+        self.poll_interval = (float(poll_interval)
+                              if poll_interval is not None
+                              else min(1.0, ttl / 3.0))
+        self.stop = stop
+        self.clock = clock
+        self.sleep = sleep
+        self.shard_timeout = shard_timeout
+        self.max_shard_retries = max_shard_retries
+        self.campaign_fp = spec.fingerprint(budget=self.budget)
+        self.points = _expand_points(spec, self.budget, self.campaign_fp)
+        _partition_points(self.points, self.budget)
+        self.sampled = [point for point in self.points if point.sampled]
+        self.by_key = {point.key: point for point in self.sampled}
+        self.manager = LeaseManager(store, self.worker, ttl, clock=clock)
+        self.shots_sampled = 0
+        self.shots_replayed = 0
+        self.shots_forfeited = 0
+        self.points_finalized = 0
+        self.finalized_by_us: set[str] = set()
+        self.reused_at_start: set[str] = set()
+        store.refresh()
+        for point in self.sampled:
+            record = store.get(point.key)
+            if record is not None and not record.get("partial"):
+                self.reused_at_start.add(point.key)
+        self.worker_count = resolve_workers(workers)
+        self._stack: ExitStack | None = None
+        self._pool = None
+        self._experiments: dict = {}
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "JoinedCampaign":
+        self._stack = ExitStack().__enter__()
+        if self.worker_count > 1:
+            self._pool = self._stack.enter_context(
+                SharedPool(self.worker_count))
+        return self
+
+    def __exit__(self, *exc_info) -> bool | None:
+        stack, self._stack = self._stack, None
+        self._pool = None
+        self._experiments.clear()
+        if stack is not None:
+            return stack.__exit__(*exc_info)
+        return None
+
+    # ------------------------------------------------------------------
+    def _experiment_for(self, point: _CampaignPoint,
+                        reference: str | None = None) -> MemoryExperiment:
+        if self._stack is None:
+            raise RuntimeError("JoinedCampaign must be entered first")
+        key = (point.sweep_index, point.experiment_key, reference)
+        experiment = self._experiments.get(key)
+        if experiment is None:
+            timeout = (self.shard_timeout if self.shard_timeout is not None
+                       else point.sweep.shard_timeout)
+            retries = (self.max_shard_retries
+                       if self.max_shard_retries is not None
+                       else point.sweep.max_shard_retries)
+            experiment = self._stack.enter_context(MemoryExperiment(
+                code=point.code, rounds=point.rounds,
+                basis=point.basis, method=point.sweep.method,
+                max_bp_iterations=point.max_bp_iterations,
+                osd_order=point.osd_order, seed=self.spec.seed,
+                backend=(reference if reference is not None
+                         else point.backend),
+                workers=1 if reference is not None else self.worker_count,
+                shard_shots=point.shard_shots,
+                pool=None if reference is not None else self._pool,
+                shard_timeout=None if reference is not None else timeout,
+                max_shard_retries=(None if reference is not None
+                                   else retries),
+            ))
+            self._experiments[key] = experiment
+        return experiment
+
+    def _seed_for(self, point: _CampaignPoint,
+                  stage: int) -> np.random.SeedSequence:
+        if point.seed_entropy is not None:
+            return np.random.SeedSequence(entropy=point.seed_entropy,
+                                          spawn_key=(int(stage),))
+        return _point_seed(self.spec.seed, point.sweep_index,
+                           point.point_index, stage)
+
+    # ------------------------------------------------------------------
+    def _checkpoint(self, point: _CampaignPoint) -> None:
+        self.store.append({
+            "key": point.key,
+            "campaign": self.campaign_fp,
+            "spec_name": self.spec.name,
+            "sweep": point.sweep.name,
+            "params": point.params,
+            "partial": True,
+            "stages": list(point.stage_log),
+            "failures": sum(e["failures"] for e in point.stage_log),
+            "shots": sum(e["shots"] for e in point.stage_log),
+            "epoch": self.manager.held.get(point.key, 0),
+            "worker": str(self.worker),
+        })
+
+    def _flush_final(self, point: _CampaignPoint) -> None:
+        self.store.append({
+            "key": point.key,
+            "campaign": self.campaign_fp,
+            "spec_name": self.spec.name,
+            "sweep": point.sweep.name,
+            "params": point.params,
+            "failures": point.tally[0],
+            "shots": point.tally[1],
+            "epoch": self.manager.held.get(point.key, 0),
+            "worker": str(self.worker),
+        })
+        self.points_finalized += 1
+        plan = active_plan()
+        if plan is not None and plan.take_sigterm(self.points_finalized):
+            raise CampaignInterrupted(
+                f"injected interrupt after {self.points_finalized} points")
+
+    def _sample(self, point: _CampaignPoint, allocation: int,
+                prior: tuple[int, int], stage: int) -> tuple[int, int]:
+        # Liveness first: if the lease was usurped (our heartbeats were
+        # too slow, or suppressed by a fault plan), LeaseLost propagates
+        # to _run_point which forfeits the whole point.
+        self.manager.heartbeat(point.key)
+        if point.replay is not None:
+            logged = point.replay.get(stage)
+            if (logged is not None
+                    and int(logged["allocation"]) == int(allocation)):
+                failures = int(logged["failures"])
+                used = int(logged["shots"])
+                self.shots_replayed += used
+                point.stage_log.append({
+                    "stage": stage, "allocation": int(allocation),
+                    "failures": failures, "shots": used,
+                })
+                return failures, used
+            point.replay = None
+        result = self._experiment_for(point).run(
+            point.physical_error_rate, point.round_latency_us,
+            shots=allocation, target_precision=point.target,
+            prior_tally=prior,
+            seed=self._seed_for(point, stage),
+        )
+        if point.oracle is not None:
+            check = self._experiment_for(
+                point, reference=point.oracle.reference,
+            ).run(point.physical_error_rate, point.round_latency_us,
+                  shots=allocation, target_precision=point.target,
+                  prior_tally=prior, seed=self._seed_for(point, stage))
+            if ((check.failures, check.shots)
+                    != (result.failures, result.shots)):
+                report_scenario_mismatch(
+                    point.oracle.scenario, point.backend,
+                    point.oracle.reference, point.oracle.failure_dir,
+                    detail=(f"campaign {self.spec.name!r} sweep "
+                            f"{point.sweep.name!r} stage {stage}: "
+                            f"fast ({result.failures}, {result.shots}) "
+                            f"!= oracle ({check.failures}, "
+                            f"{check.shots})"))
+        self.shots_sampled += int(result.shots)
+        point.stage_log.append({
+            "stage": stage, "allocation": int(allocation),
+            "failures": int(result.failures), "shots": int(result.shots),
+        })
+        self._checkpoint(point)
+        return result.failures, result.shots
+
+    def _run_point(self, point: _CampaignPoint) -> str:
+        """Run one claimed point to completion (or forfeit it)."""
+        before_sampled = self.shots_sampled
+        before_replayed = self.shots_replayed
+        try:
+            record = self.store.get(point.key)
+            if record is not None and not record.get("partial"):
+                # Finalised between our scan and our claim winning.
+                self.manager.release(point.key)
+                return "external"
+            point.tally[:] = [0, 0]
+            point.stage_log.clear()
+            point.replay = None
+            if record is not None and record.get("partial"):
+                # A dead (or usurped) owner left per-stage checkpoints:
+                # replay them instead of re-sampling — bit-identical,
+                # because stage seeds are pure functions of the spec.
+                point.replay = {int(entry["stage"]): entry
+                                for entry in record.get("stages", ())}
+            allocation = min(point.pilot, point.cap)
+            if allocation > 0:
+                failures, used = self._sample(point, allocation, (0, 0),
+                                              stage=0)
+                point.tally[0] += failures
+                point.tally[1] += used
+            adaptive = [AdaptivePoint(
+                target=point.target, cap=point.cap,
+                runner=(lambda allocation, prior, round_index:
+                        self._sample(point, allocation, prior,
+                                     stage=round_index + 1)),
+                tally=point.tally,
+            )]
+            run_adaptive_refine(adaptive, point.cap, point.tally[1],
+                                should_stop=self.stop)
+            if self.stop is not None and self.stop():
+                # Graceful interrupt mid-point: the stage log is already
+                # checkpointed, so whoever claims next replays it.
+                raise CampaignInterrupted(
+                    "joined campaign interrupted mid-point")
+            self._flush_final(point)
+            self.manager.release(point.key)
+            self.finalized_by_us.add(point.key)
+            return "done"
+        except LeaseLost:
+            # Usurped: un-count everything this run put into the point
+            # — the usurper's final record carries those shots — and
+            # reset it so a later reclaim rebuilds from the store.
+            forfeited = ((self.shots_sampled - before_sampled)
+                         + (self.shots_replayed - before_replayed))
+            self.shots_sampled = before_sampled
+            self.shots_replayed = before_replayed
+            self.shots_forfeited += forfeited
+            point.tally[:] = [0, 0]
+            point.stage_log.clear()
+            point.replay = None
+            return "lost"
+
+    # ------------------------------------------------------------------
+    def step(self) -> str:
+        """One scheduling iteration.  Returns ``"complete"`` (every
+        point has a final record), ``"worked"`` (claimed and ran a
+        batch), ``"contended"`` (lost every claim race), or
+        ``"waiting"`` (all remaining points are under live leases held
+        elsewhere — poll again after a sleep)."""
+        if self.stop is not None and self.stop():
+            self.manager.abandon_all()
+            raise CampaignInterrupted("joined campaign interrupted")
+        self.store.refresh()
+        pending = [point for point in self.sampled
+                   if point.key not in self.finalized_by_us]
+        pending = [point for point in pending
+                   if (self.store.get(point.key) is None
+                       or self.store.get(point.key).get("partial"))]
+        if not pending:
+            return "complete"
+        now = self.clock()
+        claimable = [point.key for point in pending
+                     if point.key not in self.manager.held
+                     and self.manager.claimable(point.key, now)]
+        if not claimable:
+            return "waiting"
+        won = self.manager.claim(claimable[:self.claim_batch])
+        if not won:
+            return "contended"
+        for key in won:
+            self._run_point(self.by_key[key])
+        return "worked"
+
+    def run(self) -> CampaignResult:
+        """Claim and run until every point has a final record."""
+        try:
+            while True:
+                status = self.step()
+                if status == "complete":
+                    return self.result()
+                if status in ("waiting", "contended"):
+                    self.sleep(self.poll_interval)
+        except CampaignInterrupted:
+            # Graceful exit: give the held leases back immediately so
+            # surviving workers need not wait out the TTL.  (Injected
+            # crashes — InjectedFault — deliberately do NOT abandon:
+            # a dead process cannot clean up, and the whole point is
+            # exercising TTL-expiry reclaim.)
+            self.manager.abandon_all()
+            raise
+
+    def result(self) -> CampaignResult:
+        """Assemble this worker's result (tables from the shared store).
+
+        Every final record is attributed exactly once: our own
+        sampling/replay, reuse (final before we started), or external
+        (another worker finalised it during the run) — so ``spent`` is
+        the same global total on every worker and the summary tables
+        are byte-identical."""
+        self.store.refresh()
+        shots_reused = 0
+        shots_external = 0
+        for point in self.sampled:
+            record = self.store.get(point.key)
+            if record is None or record.get("partial"):
+                continue
+            if point.key not in self.finalized_by_us:
+                shots = int(record["shots"])
+                if point.key in self.reused_at_start:
+                    shots_reused += shots
+                else:
+                    shots_external += shots
+                point.tally[:] = [int(record["failures"]), shots]
+        targets_met = sum(
+            1 for point in self.sampled
+            if point.target.met(point.tally[0], point.tally[1]))
+        return CampaignResult(
+            spec=self.spec,
+            tables=_build_tables(self.spec, self.points),
+            budget=self.budget,
+            points_total=len(self.sampled),
+            points_reused=len(self.reused_at_start),
+            shots_sampled=self.shots_sampled,
+            shots_reused=shots_reused,
+            shots_replayed=self.shots_replayed,
+            targets_met=targets_met,
+            store_path=str(self.store.path),
+            shots_external=shots_external,
+            shots_forfeited=self.shots_forfeited,
+            worker=str(self.worker),
+        )
+
+
 def run_campaign(spec: CampaignSpec,
                  store: "ResultStore | str | None" = None,
                  workers: int = 1,
                  budget: int | None = None,
                  shard_timeout: float | None = None,
                  max_shard_retries: int | None = None,
-                 stop=None) -> CampaignResult:
+                 stop=None,
+                 join: bool = False,
+                 worker_id: "WorkerIdentity | str | None" = None,
+                 lease_ttl: float | None = None,
+                 claim_batch: int | None = None,
+                 poll_interval: float | None = None) -> CampaignResult:
     """Run (or resume) a campaign under its global shot budget.
 
     ``store`` enables resume: a path or :class:`ResultStore` whose
@@ -358,7 +784,36 @@ def run_campaign(spec: CampaignSpec,
     between units of work; once it returns true the campaign flushes
     everything finalised, releases the pool and raises
     :class:`CampaignInterrupted` — the CLI wires SIGINT/SIGTERM to it.
+
+    ``join=True`` switches to multi-host mode (see
+    :class:`JoinedCampaign`): this process becomes one worker among
+    possibly many sharing ``store``, claiming points under leases of
+    ``lease_ttl`` seconds (renewed while sampling), ``claim_batch`` at
+    a time, polling every ``poll_interval`` seconds while rivals hold
+    live leases.  ``worker_id`` labels this worker (a
+    ``host:pid:token`` triple, or any string used as the host label of
+    a generated identity).  The budget is statically partitioned per
+    point, so joined tables are bit-identical for any number of
+    workers — but differ from a non-joined run of the same spec (the
+    store keys differ too, so the two modes never cross-contaminate).
     """
+    if join:
+        if store is None:
+            raise ValueError("a joined campaign requires a shared store "
+                             "(--join needs --store)")
+        if isinstance(worker_id, WorkerIdentity):
+            worker = worker_id
+        elif worker_id:
+            worker = WorkerIdentity.parse(str(worker_id))
+        else:
+            worker = WorkerIdentity.generate()
+        with JoinedCampaign(
+                spec, store, worker=worker, workers=workers, budget=budget,
+                lease_ttl=lease_ttl, claim_batch=claim_batch,
+                poll_interval=poll_interval, shard_timeout=shard_timeout,
+                max_shard_retries=max_shard_retries, stop=stop) as joined:
+            return joined.run()
+
     spec.validate_names()
     effective_budget = int(budget) if budget is not None else spec.budget
     if effective_budget < 1:
@@ -366,6 +821,11 @@ def run_campaign(spec: CampaignSpec,
     campaign_fp = spec.fingerprint(budget=effective_budget)
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
+    if store is not None:
+        # A long-lived ResultStore instance may predate another
+        # process's appends; fold them in before deciding what to
+        # reuse vs re-sample.
+        store.refresh()
 
     points = _expand_points(spec, effective_budget, campaign_fp)
     sampled_points = [point for point in points if point.sampled]

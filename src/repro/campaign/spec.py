@@ -203,6 +203,13 @@ class CampaignSpec:
     ``(seed, sweep_index, point_index, stage)``, never from execution
     order, which is what lets the result store resume a campaign
     bit-identically.
+
+    ``lease_ttl`` / ``claim_batch`` are *execution* knobs for joined
+    (multi-host) runs — the lease heartbeat deadline and how many
+    points a worker claims per scheduling pass.  Like the sweeps'
+    fault-tolerance knobs they are excluded from :meth:`fingerprint`:
+    they shape coordination, never tallies, so stores written under
+    one TTL resume under any other.
     """
 
     name: str
@@ -210,6 +217,8 @@ class CampaignSpec:
     budget: int
     seed: int = 0
     description: str = ""
+    lease_ttl: float | None = None
+    claim_batch: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -218,6 +227,10 @@ class CampaignSpec:
             raise ValueError("a campaign needs at least one sweep")
         if self.budget < 1:
             raise ValueError("budget must be a positive shot count")
+        if self.lease_ttl is not None and self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if self.claim_batch is not None and self.claim_batch < 1:
+            raise ValueError("claim_batch must be positive")
         names = [sweep.name for sweep in self.sweeps]
         if len(set(names)) != len(names):
             raise ValueError("sweep names must be unique within a campaign")
@@ -233,18 +246,23 @@ class CampaignSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "name": self.name,
             "description": self.description,
             "budget": self.budget,
             "seed": self.seed,
             "sweeps": [sweep.to_dict() for sweep in self.sweeps],
         }
+        if self.lease_ttl is not None:
+            payload["lease_ttl"] = self.lease_ttl
+        if self.claim_batch is not None:
+            payload["claim_batch"] = self.claim_batch
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CampaignSpec":
         unknown = set(payload) - {"name", "description", "budget", "seed",
-                                  "sweeps"}
+                                  "sweeps", "lease_ttl", "claim_batch"}
         if unknown:
             raise ValueError(f"unknown campaign keys {sorted(unknown)}")
         for key in ("name", "budget", "sweeps"):
@@ -254,12 +272,16 @@ class CampaignSpec:
             sweep if isinstance(sweep, SweepSpec) else SweepSpec.from_dict(sweep)
             for sweep in payload["sweeps"]
         )
+        lease_ttl = payload.get("lease_ttl")
+        claim_batch = payload.get("claim_batch")
         return cls(
             name=str(payload["name"]),
             description=str(payload.get("description", "")),
             budget=int(payload["budget"]),
             seed=int(payload.get("seed", 0)),
             sweeps=sweeps,
+            lease_ttl=float(lease_ttl) if lease_ttl is not None else None,
+            claim_batch=int(claim_batch) if claim_batch is not None else None,
         )
 
     def to_json(self) -> str:
@@ -287,6 +309,10 @@ class CampaignSpec:
         for sweep_payload in payload["sweeps"]:
             sweep_payload.pop("shard_timeout", None)
             sweep_payload.pop("max_shard_retries", None)
+        # Likewise the multi-host lease knobs: coordination cadence
+        # never changes a tally.
+        payload.pop("lease_ttl", None)
+        payload.pop("claim_batch", None)
         return fingerprint(payload)
 
 

@@ -26,6 +26,27 @@ with one ``write`` + flush, so a crash tears at most the final line —
 it never interleaves two records.  ``REPRO_STORE_FSYNC=1`` adds an
 ``os.fsync`` per append for callers who need the record durable
 against power loss, not just process death.
+
+Multi-writer coordination
+-------------------------
+The same file doubles as the lease log for multi-host campaigns
+(``repro campaign --join``).  Lease events — ``claim``, ``renew``,
+``release``, ``abandon`` — are ordinary JSONL records distinguished by
+a ``type`` field, folded into per-key :class:`Lease` state strictly in
+file order.  Because every append is a single ``write(2)`` on a file
+opened in append mode (``O_APPEND``), records from concurrent writers
+land whole at EOF and the file order is a total order every reader
+agrees on — which is the entire race-resolution mechanism: the first
+``claim`` in the file at a given epoch wins, full stop.  Lease events
+appended by *this* process are deliberately **not** applied to local
+state; the owner must :meth:`ResultStore.refresh` and read back the
+folded state, so a rival's earlier claim is never shadowed by local
+optimism.
+
+Result records may carry a lease ``epoch``; resolution is epoch-aware
+last-wins: a record at a lower epoch never supersedes one at a higher
+epoch (a usurped worker's stale final cannot clobber the usurper's),
+while records at equal epochs keep plain file-order last-wins.
 """
 
 from __future__ import annotations
@@ -33,15 +54,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.parallel.faults import InjectedFault, active_plan
 
-__all__ = ["ResultStore", "fingerprint"]
+__all__ = ["Lease", "LEASE_TYPES", "ResultStore", "fingerprint"]
 
 #: Bump when the record layout changes incompatibly; loads ignore
 #: records from other versions (they re-run rather than misread).
 STORE_VERSION = 1
+
+#: Record ``type`` values that are lease events, not results.
+LEASE_TYPES = ("claim", "renew", "release", "abandon")
 
 
 def fingerprint(payload: dict) -> str:
@@ -56,14 +81,46 @@ def fingerprint(payload: dict) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+@dataclass
+class Lease:
+    """Folded per-key lease state (the result of replaying the log).
+
+    ``epoch`` is monotonic per key: every reclaim bumps it, so stale
+    owners are recognisable by epoch alone even if their clock lies.
+    ``renewed_at`` starts at the claim timestamp and advances with
+    each accepted ``renew``; liveness is always judged against it.
+    """
+
+    key: str
+    worker: str
+    epoch: int
+    ttl: float
+    acquired_at: float
+    renewed_at: float
+    released: bool = False
+    abandoned: bool = False
+
+    def live(self, now: float) -> bool:
+        """Whether the lease still excludes rival claims at ``now``."""
+        return not self.released and now < self.renewed_at + self.ttl
+
+
+def _epoch_of(record: dict) -> int:
+    try:
+        return int(record.get("epoch", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
 class ResultStore:
     """Append-only JSON-lines store of finalised campaign points.
 
     Records are dicts with at least ``key`` (the point fingerprint),
     ``failures`` and ``shots``; the campaign also records the point's
     parameters for human inspection.  ``get``/``__contains__`` address
-    the *last* record per key, so a re-run that legitimately recomputes
-    a point supersedes the old record without rewriting the file.
+    the winning record per key (epoch-aware last-wins), so a re-run
+    that legitimately recomputes a point supersedes the old record
+    without rewriting the file.
     """
 
     def __init__(self, path: "str | Path") -> None:
@@ -71,42 +128,145 @@ class ResultStore:
         self.skipped_lines = 0
         self.fsync = os.environ.get("REPRO_STORE_FSYNC") == "1"
         self._records: dict[str, dict] = {}
+        self._leases: dict[str, Lease] = {}
         self._appends = 0
-        self._tail_open = False
+        self._lease_appends = 0
+        #: Byte offset of the first unconsumed byte: everything before
+        #: it is complete lines already folded into memory.
+        self._offset = 0
+        #: File size at the last read — lets ``refresh`` no-op cheaply.
+        self._size_seen = 0
+        #: Whether the trailing torn fragment (bytes past ``_offset``)
+        #: has already been counted in ``skipped_lines``.
+        self._frag_counted = False
         self._load()
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
         self._records.clear()
+        self._leases.clear()
         self.skipped_lines = 0
-        self._tail_open = False
+        self._offset = 0
+        self._size_seen = 0
+        self._frag_counted = False
+        self._read_new()
+
+    def refresh(self) -> int:
+        """Fold in records other processes appended since the last read.
+
+        Returns the number of newly applied records (results + lease
+        events).  Cheap when nothing changed: one ``stat``.  A file
+        that shrank underneath us (truncated or replaced) triggers a
+        full reload.
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            size = 0
+        if size < self._offset:
+            self._load()
+            return len(self._records)
+        if size == self._size_seen:
+            return 0
+        return self._read_new()
+
+    def _read_new(self) -> int:
+        """Consume complete lines from ``_offset`` to EOF."""
         if not self.path.exists():
-            return
-        text = self.path.read_text()
-        # A file not ending in a newline has a torn tail (the previous
-        # writer died mid-append).  Remember it: the next append must
-        # start on a fresh line or it would corrupt itself by
-        # concatenating onto the torn fragment.
-        self._tail_open = bool(text) and not text.endswith("\n")
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
+            return 0
+        with self.path.open("rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        self._size_seen = self._offset + len(chunk)
+        if not chunk:
+            return 0
+        if self._frag_counted:
+            # The fragment's bytes are re-read below; un-count it so a
+            # fragment later terminated by a rival's leading newline is
+            # counted once as a (corrupt) complete line, not twice.
+            self.skipped_lines -= 1
+            self._frag_counted = False
+        lines = chunk.split(b"\n")
+        fragment = lines.pop()  # b"" when the chunk ends in a newline
+        self._offset += len(chunk) - len(fragment)
+        applied = 0
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
                 continue
             try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                # Interrupted append: the tail line never finished.
+                record = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # Interrupted append: the line never finished.
                 self.skipped_lines += 1
                 continue
-            if (not isinstance(record, dict) or "key" not in record
-                    or record.get("version") != STORE_VERSION):
-                self.skipped_lines += 1
-                continue
+            if self._apply(record):
+                applied += 1
+        if fragment.strip():
+            # A torn tail (some writer died mid-append).  Count it now;
+            # re-counted correctly if more bytes ever complete it.
+            self.skipped_lines += 1
+            self._frag_counted = True
+        return applied
+
+    def _apply(self, record: object) -> bool:
+        if (not isinstance(record, dict) or "key" not in record
+                or record.get("version") != STORE_VERSION):
+            self.skipped_lines += 1
+            return False
+        if record.get("type") in LEASE_TYPES:
+            return self._apply_lease(record)
+        self._install(record)
+        return True
+
+    def _install(self, record: dict) -> None:
+        # Epoch-aware last-wins: equal epochs keep file-order
+        # last-wins; a stale lower-epoch record never supersedes.
+        current = self._records.get(record["key"])
+        if current is None or _epoch_of(record) >= _epoch_of(current):
             self._records[record["key"]] = record
+
+    def _apply_lease(self, record: dict) -> bool:
+        try:
+            key = record["key"]
+            rtype = record["type"]
+            worker = str(record["worker"])
+            epoch = int(record["epoch"])
+            ts = float(record["ts"])
+        except (KeyError, TypeError, ValueError):
+            self.skipped_lines += 1
+            return False
+        current = self._leases.get(key)
+        if rtype == "claim":
+            try:
+                ttl = float(record.get("ttl", 0.0))
+            except (TypeError, ValueError):
+                self.skipped_lines += 1
+                return False
+            # First claim in file order wins at a given epoch; a
+            # higher epoch (reclaim after expiry) always supersedes.
+            if (current is None or epoch > current.epoch
+                    or (epoch == current.epoch and current.released)):
+                self._leases[key] = Lease(key=key, worker=worker,
+                                          epoch=epoch, ttl=ttl,
+                                          acquired_at=ts, renewed_at=ts)
+        elif rtype == "renew":
+            # Only the current owner at the current epoch can extend
+            # liveness; stale heartbeats from usurped workers are inert.
+            if (current is not None and not current.released
+                    and current.worker == worker
+                    and current.epoch == epoch):
+                current.renewed_at = max(current.renewed_at, ts)
+        else:  # release / abandon
+            if (current is not None and current.worker == worker
+                    and current.epoch == epoch):
+                current.released = True
+                current.abandoned = rtype == "abandon"
+        return True
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict | None:
-        """The last record stored under ``key``, or ``None``."""
+        """The winning record stored under ``key``, or ``None``."""
         return self._records.get(key)
 
     def __contains__(self, key: str) -> bool:
@@ -116,8 +276,16 @@ class ResultStore:
         return len(self._records)
 
     def records(self) -> list[dict]:
-        """All live records (last per key), in insertion order."""
+        """All live result records (winner per key), in insertion order."""
         return list(self._records.values())
+
+    def lease_for(self, key: str) -> Lease | None:
+        """Folded lease state for ``key`` as of the last read."""
+        return self._leases.get(key)
+
+    def leases(self) -> dict[str, Lease]:
+        """Folded lease state for every key ever claimed."""
+        return dict(self._leases)
 
     # ------------------------------------------------------------------
     def append(self, record: dict) -> None:
@@ -130,29 +298,59 @@ class ResultStore:
         if "key" not in record:
             raise ValueError("a store record needs a 'key'")
         record = dict(record, version=STORE_VERSION)
-        # One buffer, one write: a crash can tear the tail of this line
-        # but never interleave it with another record.  If the file
-        # already ends in a torn line, lead with a newline so the
+        self._write_line(record, lease=False)
+        self._appends += 1
+        self._install(record)
+
+    def append_lease(self, record: dict) -> None:
+        """Persist one lease event (claim/renew/release/abandon).
+
+        The event is **not** applied to local state: race resolution is
+        file order, so the caller must :meth:`refresh` and read back
+        the folded state to learn whether its claim actually won.
+        """
+        for name in ("type", "key", "worker", "epoch", "ts"):
+            if name not in record:
+                raise ValueError(f"a lease record needs {name!r}")
+        if record["type"] not in LEASE_TYPES:
+            raise ValueError(f"unknown lease type {record['type']!r}")
+        record = dict(record, version=STORE_VERSION)
+        self._write_line(record, lease=True)
+        self._lease_appends += 1
+
+    def _write_line(self, record: dict, *, lease: bool) -> None:
+        # One buffer, one write on an O_APPEND handle: a crash can tear
+        # the tail of this line but never interleave it with another
+        # record, even with concurrent writers on other hosts.  Probe
+        # the file's actual last byte (not a cached flag — a *rival*
+        # writer may have torn or repaired the tail since we last
+        # looked) and lead with a newline if the tail is torn, so the
         # fragment stays isolated (and skippable) instead of corrupting
         # this append by concatenation.
-        line = json.dumps(record, sort_keys=True) + "\n"
-        if self._tail_open:
-            line = "\n" + line
+        encoded = (json.dumps(record, sort_keys=True) + "\n").encode()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         plan = active_plan()
-        with self.path.open("a") as handle:
-            if plan is not None and plan.take_store_tear(self._appends):
+        with self.path.open("ab+") as handle:
+            end = handle.seek(0, os.SEEK_END)
+            lead = b""
+            if end:
+                handle.seek(end - 1)
+                if handle.read(1) != b"\n":
+                    lead = b"\n"
+            data = lead + encoded
+            torn = plan is not None and (
+                plan.take_lease_tear(self._lease_appends) if lease
+                else plan.take_store_tear(self._appends))
+            if torn:
                 # Simulated crash mid-write: persist only part of the
                 # line (no newline) and die the way a real crash would.
-                handle.write(line[:max(1, len(line) // 2)])
+                handle.write(data[:max(1, len(data) // 2)])
                 handle.flush()
-                self._tail_open = True
+                kind = "lease" if lease else "store"
+                count = self._lease_appends if lease else self._appends
                 raise InjectedFault(
-                    f"store append torn after {self._appends} records")
-            handle.write(line)
+                    f"{kind} append torn after {count} records")
+            handle.write(data)
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
-        self._tail_open = False
-        self._appends += 1
-        self._records[record["key"]] = record

@@ -13,7 +13,15 @@ Subcommands mirror the library's main entry points:
 ``campaign``
     Run a whole campaign of sweeps — a builtin spec such as
     ``paper_figures`` or a JSON spec file — against one global shot
-    budget and one worker pool, with a resumable result store.
+    budget and one worker pool, with a resumable result store.  With
+    ``--join``, become one worker of a multi-host campaign: N joined
+    processes sharing one store partition the budget by claiming
+    points under TTL'd leases and produce byte-identical tables.
+``store``
+    Result-store tooling: ``merge`` folds per-host stores into one
+    canonical file (bit-identical under any input order), ``verify``
+    checks a store for corruption and lease-log violations, ``repair``
+    drops what ``verify`` flagged.
 ``speedup``
     Print the Figure 3 parallel-vs-serial speedup table.
 
@@ -32,6 +40,10 @@ Examples
     python -m repro campaign paper_figures --store figures.jsonl --workers 0
     python -m repro campaign paper_figures --store figures.jsonl \
         --assert-no-sampling          # resumed: must re-sample nothing
+    python -m repro campaign paper_figures --join --worker-id blue \
+        --store /shared/figures.jsonl # one worker of a multi-host run
+    python -m repro store merge merged.jsonl hostA.jsonl hostB.jsonl
+    python -m repro store verify merged.jsonl
     python -m repro speedup
 
 Exit codes
@@ -70,7 +82,10 @@ from repro.campaign import (
     builtin_spec,
     kind_by_name,
     load_spec,
+    merge_stores,
+    repair_store,
     run_campaign,
+    verify_store,
 )
 from repro.codes import available_codes, code_by_name
 from repro.core import (
@@ -232,10 +247,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="JSON|@PATH",
         help="inject a deterministic fault schedule (testing/chaos "
              "drills): JSON with any of kills, delays, "
-             "tear_after_records, sigterm_after_points — see "
-             "repro.parallel.faults; equivalently the REPRO_FAULT_PLAN "
-             "environment variable",
+             "tear_after_records, sigterm_after_points, "
+             "kill_after_claims, suppress_heartbeats, duplicate_claim, "
+             "tear_lease_after — see repro.parallel.faults; "
+             "equivalently the REPRO_FAULT_PLAN environment variable",
     )
+    campaign_parser.add_argument(
+        "--join", action="store_true",
+        help="join a multi-host campaign: become one worker among "
+             "possibly many sharing --store, claiming points under "
+             "TTL'd leases and heartbeating renewals; tables are "
+             "byte-identical for any number of joined workers "
+             "(requires --store)",
+    )
+    campaign_parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="lease identity for --join: either a full host:pid:token "
+             "triple or a label used as the host part of a generated "
+             "identity (default: hostname:pid:random)",
+    )
+    campaign_parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="lease heartbeat deadline for --join: a lease not renewed "
+             "for this long may be reclaimed by any worker (default: "
+             "the spec's lease_ttl, else 60); execution-only — never "
+             "enters the store key",
+    )
+    campaign_parser.add_argument(
+        "--claim-batch", type=int, default=None, metavar="N",
+        help="points a joined worker claims per scheduling pass "
+             "(default: the spec's claim_batch, else 2)",
+    )
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="result-store tooling: merge per-host stores, verify "
+             "consistency, repair corruption",
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command",
+                                            required=True)
+    merge_parser = store_sub.add_parser(
+        "merge",
+        help="fold stores into one canonical file (bit-identical under "
+             "any input order; lease events dropped, conflicts "
+             "reported)",
+    )
+    merge_parser.add_argument("output", help="merged store to write")
+    merge_parser.add_argument("inputs", nargs="+",
+                              help="store files to fold together")
+    verify_parser = store_sub.add_parser(
+        "verify",
+        help="check one store for corruption and lease-log violations "
+             "(exit 1 with a repair hint on problems)",
+    )
+    verify_parser.add_argument("path", help="store file to check")
+    repair_parser = store_sub.add_parser(
+        "repair",
+        help="rewrite a store keeping only healthy lines (drops torn "
+             "fragments and corrupt records; atomic)",
+    )
+    repair_parser.add_argument("path", help="store file to repair")
 
     speedup_parser = subparsers.add_parser(
         "speedup", help="parallel vs serial schedule speedups (Figure 3)"
@@ -344,6 +415,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print("a spec name or path is required (or --list-specs)",
               file=sys.stderr)
         return 2
+    if args.join and not args.store:
+        print("--join requires --store (the shared store is the "
+              "coordination medium)", file=sys.stderr)
+        return 2
     try:
         spec = load_spec(args.spec)
     except (FileNotFoundError, ValueError) as error:
@@ -387,6 +462,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 shard_timeout=args.shard_timeout,
                 max_shard_retries=args.max_shard_retries,
                 stop=lambda: stop_requested,
+                join=args.join,
+                worker_id=args.worker_id,
+                lease_ttl=args.lease_ttl,
+                claim_batch=args.claim_batch,
             )
     except ValueError as error:
         # Spec-level problems surfaced by the orchestrator (unknown
@@ -447,6 +526,58 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``repro store merge|verify|repair`` — see
+    :mod:`repro.campaign.coordination`.  Exit codes: 0 clean, 1
+    verification problems (or merge conflicts), 2 usage errors."""
+    if args.store_command == "merge":
+        missing = [path for path in args.inputs if not Path(path).exists()]
+        if missing:
+            print(f"no such store(s): {missing}", file=sys.stderr)
+            return 2
+        report = merge_stores(args.inputs, args.output)
+        print(f"merged {len(report['inputs'])} stores -> "
+              f"{report['output']}: {report['records_written']} records "
+              f"({report['records_read']} read, "
+              f"{report['lines_skipped']} lines skipped)")
+        if report["conflicts"]:
+            print(f"CONFLICTS on {len(report['conflicts'])} key(s) — two "
+                  "differing final records at the same epoch (resolved "
+                  "deterministically, but the inputs disagree):",
+                  file=sys.stderr)
+            for key in report["conflicts"]:
+                print(f"  {key}", file=sys.stderr)
+            return 1
+        return 0
+    if args.store_command == "verify":
+        report = verify_store(args.path)
+        for note in report["info"]:
+            print(f"note: {note}")
+        print(f"{report['path']}: {report['records']} result records, "
+              f"{report['leases']} lease events")
+        if not report["ok"]:
+            for problem in report["problems"]:
+                print(f"PROBLEM: {problem}", file=sys.stderr)
+            print(f"hint: `repro store repair {report['path']}` drops "
+                  "corrupt lines (healthy records are kept; points "
+                  "whose records are dropped re-run from their last "
+                  "checkpoint on the next campaign run)",
+                  file=sys.stderr)
+            return 1
+        print("ok")
+        return 0
+    if args.store_command == "repair":
+        if not Path(args.path).exists():
+            print(f"no such store: {args.path}", file=sys.stderr)
+            return 2
+        report = repair_store(args.path)
+        print(f"{report['path']}: kept {report['kept']} lines, "
+              f"dropped {report['dropped']}")
+        return 0
+    print(f"unknown store command {args.store_command!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_speedup(args: argparse.Namespace) -> int:
     table = speedup_table(args.codes)
     _emit(table, args.output)
@@ -465,6 +596,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_memory(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "speedup":
         return _cmd_speedup(args)
     parser.error(f"unknown command {args.command!r}")

@@ -18,7 +18,21 @@ A :class:`FaultPlan` is a small declarative schedule of faults:
   finalised to the store, the orchestrator raises
   ``CampaignInterrupted`` through the same checkpoint the real
   SIGINT/SIGTERM handlers use, exercising the identical
-  flush/cancel/release path without delivering an OS signal.
+  flush/cancel/release path without delivering an OS signal;
+* ``kill_after_claims`` — a *joined* campaign process dies hard
+  (:class:`InjectedFault` from the claim loop) after successfully
+  claiming that many leases, leaving live leases to expire and be
+  reclaimed by surviving workers;
+* ``suppress_heartbeats`` — a mode, not a one-shot: the joined worker
+  skips every lease renewal, so its leases expire mid-point and other
+  workers usurp them (the worker detects the loss at its next
+  heartbeat check and forfeits the point);
+* ``duplicate_claim`` — before the N-th claim this process makes, a
+  phantom claim record for the same key from a fake rival worker is
+  appended first, forcing the claim race to resolve by file order;
+* ``tear_lease_after`` — like ``tear_after_records`` but counting
+  *lease* appends (claim/renew/release), so lease-log corruption can
+  be injected without disturbing result-record fault schedules.
 
 Faults are **attached parent-side**: the parent consults the active
 plan at each pool submission and ships the fault (if any) inside the
@@ -75,6 +89,10 @@ class FaultPlan:
     delays: dict[int, float] = field(default_factory=dict)
     tear_after_records: int | None = None
     sigterm_after_points: int | None = None
+    kill_after_claims: int | None = None
+    suppress_heartbeats: bool = False
+    duplicate_claim: int | None = None
+    tear_lease_after: int | None = None
     _submitted: int = field(default=0, repr=False)
     _fired: set = field(default_factory=set, repr=False)
 
@@ -116,6 +134,43 @@ class FaultPlan:
             return True
         return False
 
+    def take_lease_kill(self, claims_appended: int) -> bool:
+        """True exactly once, when this process has appended
+        ``kill_after_claims`` successful claim records."""
+        if (self.kill_after_claims is not None
+                and claims_appended >= self.kill_after_claims
+                and "lease_kill" not in self._fired):
+            self._fired.add("lease_kill")
+            return True
+        return False
+
+    def heartbeats_suppressed(self) -> bool:
+        """True while heartbeat suppression is planned (a mode: holds
+        for the whole run, unlike the fire-once faults)."""
+        return self.suppress_heartbeats
+
+    def take_duplicate_claim(self, claim_ordinal: int) -> bool:
+        """True exactly once, just before this process's
+        ``duplicate_claim``-th claim append — the caller appends a
+        phantom rival claim first so the race resolves by file order."""
+        if (self.duplicate_claim is not None
+                and claim_ordinal >= self.duplicate_claim
+                and "dup_claim" not in self._fired):
+            self._fired.add("dup_claim")
+            return True
+        return False
+
+    def take_lease_tear(self, lease_appends: int) -> bool:
+        """True exactly once, when the lease append after
+        ``tear_lease_after`` successful lease appends is about to
+        happen (counted separately from result-record appends)."""
+        if (self.tear_lease_after is not None
+                and lease_appends >= self.tear_lease_after
+                and "lease_tear" not in self._fired):
+            self._fired.add("lease_tear")
+            return True
+        return False
+
     def take_sigterm(self, points_finalized: int) -> bool:
         """True exactly once, when ``points_finalized`` reaches the
         planned interrupt point."""
@@ -138,6 +193,14 @@ class FaultPlan:
             payload["tear_after_records"] = self.tear_after_records
         if self.sigterm_after_points is not None:
             payload["sigterm_after_points"] = self.sigterm_after_points
+        if self.kill_after_claims is not None:
+            payload["kill_after_claims"] = self.kill_after_claims
+        if self.suppress_heartbeats:
+            payload["suppress_heartbeats"] = True
+        if self.duplicate_claim is not None:
+            payload["duplicate_claim"] = self.duplicate_claim
+        if self.tear_lease_after is not None:
+            payload["tear_lease_after"] = self.tear_lease_after
         return payload
 
     def to_json(self) -> str:
@@ -146,7 +209,9 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultPlan":
         known = {"kills", "delays", "tear_after_records",
-                 "sigterm_after_points"}
+                 "sigterm_after_points", "kill_after_claims",
+                 "suppress_heartbeats", "duplicate_claim",
+                 "tear_lease_after"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown fault-plan keys {sorted(unknown)}")
@@ -155,6 +220,11 @@ class FaultPlan:
             delays=dict(payload.get("delays", {})),
             tear_after_records=payload.get("tear_after_records"),
             sigterm_after_points=payload.get("sigterm_after_points"),
+            kill_after_claims=payload.get("kill_after_claims"),
+            suppress_heartbeats=bool(payload.get("suppress_heartbeats",
+                                                 False)),
+            duplicate_claim=payload.get("duplicate_claim"),
+            tear_lease_after=payload.get("tear_lease_after"),
         )
 
     @classmethod

@@ -295,3 +295,105 @@ class TestCampaignFaultExitCodes:
         capsys.readouterr()
         assert seen["shard_timeout"] == 30.0
         assert seen["max_shard_retries"] == 5
+
+
+class TestJoinFlags:
+    def test_join_without_store_exits_2(self, capsys):
+        assert main(["campaign", "ci_smoke", "--join"]) == 2
+        assert "--join requires --store" in capsys.readouterr().err
+
+    def test_join_knobs_reach_run_campaign(self, monkeypatch, capsys,
+                                           tmp_path):
+        import repro.cli as cli_module
+        from repro.campaign import run_campaign as real_campaign
+
+        seen = {}
+
+        def spying_campaign(spec, **kwargs):
+            seen.update(kwargs)
+            return real_campaign(spec, **kwargs)
+
+        monkeypatch.setattr(cli_module, "run_campaign", spying_campaign)
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "ci_smoke", "--join", "--store",
+                     str(store), "--worker-id", "blue", "--lease-ttl",
+                     "30", "--claim-batch", "3"]) == 0
+        capsys.readouterr()
+        assert seen["join"] is True
+        assert seen["worker_id"] == "blue"
+        assert seen["lease_ttl"] == 30.0
+        assert seen["claim_batch"] == 3
+
+    def test_joined_resume_asserts_no_sampling(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "ci_smoke", "--join", "--store",
+                     str(store), "--worker-id", "one"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "ci_smoke", "--join", "--store",
+                     str(store), "--worker-id", "two",
+                     "--assert-no-sampling"]) == 0
+
+
+class TestStoreCommand:
+    """`repro store merge/verify/repair` exit codes and output."""
+
+    def _store(self, path, records):
+        from repro.campaign import ResultStore
+        store = ResultStore(path)
+        for record in records:
+            store.append(record)
+        return path
+
+    def test_merge_exits_0_and_writes_output(self, capsys, tmp_path):
+        a = self._store(tmp_path / "a.jsonl",
+                        [{"key": "x", "failures": 1, "shots": 10}])
+        b = self._store(tmp_path / "b.jsonl",
+                        [{"key": "y", "failures": 2, "shots": 20}])
+        out = tmp_path / "merged.jsonl"
+        assert main(["store", "merge", str(out), str(a), str(b)]) == 0
+        assert "2 records" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_merge_conflicts_exit_1(self, capsys, tmp_path):
+        a = self._store(tmp_path / "a.jsonl",
+                        [{"key": "x", "failures": 1, "shots": 10}])
+        b = self._store(tmp_path / "b.jsonl",
+                        [{"key": "x", "failures": 9, "shots": 10}])
+        assert main(["store", "merge", str(tmp_path / "m.jsonl"),
+                     str(a), str(b)]) == 1
+        assert "CONFLICTS on 1 key(s)" in capsys.readouterr().err
+
+    def test_merge_missing_input_exits_2(self, capsys, tmp_path):
+        assert main(["store", "merge", str(tmp_path / "m.jsonl"),
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such store" in capsys.readouterr().err
+
+    def test_verify_clean_exits_0(self, capsys, tmp_path):
+        path = self._store(tmp_path / "s.jsonl",
+                           [{"key": "x", "failures": 1, "shots": 10}])
+        assert main(["store", "verify", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_problems_exit_1_with_repair_hint(self, capsys,
+                                                     tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"key": "a", "version": 1}\n'
+                        'interior garbage\n'
+                        '{"key": "b", "version": 1}\n')
+        assert main(["store", "verify", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "PROBLEM" in err
+        assert "repro store repair" in err
+
+    def test_repair_then_verify_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"key": "a", "version": 1}\n'
+                        'interior garbage\n')
+        assert main(["store", "repair", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1" in out and "dropped 1" in out
+        assert main(["store", "verify", str(path)]) == 0
+
+    def test_repair_missing_exits_2(self, capsys, tmp_path):
+        assert main(["store", "repair",
+                     str(tmp_path / "nope.jsonl")]) == 2

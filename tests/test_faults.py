@@ -81,6 +81,36 @@ class TestFaultPlan:
         assert clone.tear_after_records == 4
         assert clone.sigterm_after_points == 2
 
+    def test_lease_fault_keys_round_trip(self):
+        plan = FaultPlan(kill_after_claims=2, suppress_heartbeats=True,
+                         duplicate_claim=1, tear_lease_after=3)
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.kill_after_claims == 2
+        assert clone.suppress_heartbeats is True
+        assert clone.duplicate_claim == 1
+        assert clone.tear_lease_after == 3
+        # Absent keys stay absent on the wire.
+        assert "suppress_heartbeats" not in FaultPlan(kills=(1,)).to_dict()
+
+    def test_lease_faults_fire_once(self):
+        plan = FaultPlan(kill_after_claims=2, duplicate_claim=1,
+                         tear_lease_after=2)
+        assert not plan.take_lease_kill(1)
+        assert plan.take_lease_kill(3)      # >= threshold fires
+        assert not plan.take_lease_kill(5)  # already fired
+        assert not plan.take_duplicate_claim(0)
+        assert plan.take_duplicate_claim(1)
+        assert not plan.take_duplicate_claim(1)
+        assert not plan.take_lease_tear(1)
+        assert plan.take_lease_tear(2)
+        assert not plan.take_lease_tear(4)
+
+    def test_suppress_heartbeats_is_a_mode_not_fire_once(self):
+        plan = FaultPlan(suppress_heartbeats=True)
+        assert plan.heartbeats_suppressed()
+        assert plan.heartbeats_suppressed()  # never consumed
+        assert not FaultPlan().heartbeats_suppressed()
+
     def test_from_arg_inline_and_at_path(self, tmp_path):
         inline = FaultPlan.from_arg('{"kills": [0]}')
         assert inline.kills == (0,)
@@ -355,3 +385,67 @@ class TestCampaignFaultInvariance:
         result = run_campaign(tiny_spec(seed=2), shard_timeout=60.0,
                               max_shard_retries=5)
         assert render(result) == render(reference)
+
+
+class TestJoinedFaultConservation:
+    """Faults in ``--join`` mode: whatever dies, the *global* ledger
+    across all workers adds up to the fault-free joined total, and the
+    merged tables stay byte-identical."""
+
+    def _joined_reference(self, tmp_path):
+        with activate(None):
+            return run_campaign(tiny_spec(), join=True, worker_id="ref",
+                                store=str(tmp_path / "ref.jsonl"))
+
+    def test_killed_worker_plus_finisher_conserve(self, tmp_path):
+        reference = self._joined_reference(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        with pytest.raises(InjectedFault):
+            with activate(FaultPlan(kill_after_claims=1)):
+                run_campaign(tiny_spec(), join=True, worker_id="victim",
+                             store=store, lease_ttl=0.05)
+        with activate(None):
+            finisher = run_campaign(tiny_spec(), join=True,
+                                    worker_id="finisher", store=store,
+                                    lease_ttl=0.05, poll_interval=0.06)
+        # The victim died before sampling anything under its claims, so
+        # the finisher alone accounts for every shot; any checkpointed
+        # stages replay rather than re-sample.
+        assert (finisher.shots_sampled + finisher.shots_replayed
+                + finisher.shots_reused) == reference.shots_sampled
+        assert render(finisher) == render(reference)
+
+    def test_torn_lease_append_recovers(self, tmp_path):
+        """A crash mid-lease-append leaves a torn (skipped) lease line;
+        the next worker claims cleanly and finishes the campaign."""
+        reference = self._joined_reference(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        with pytest.raises(InjectedFault):
+            with activate(FaultPlan(tear_lease_after=1)):
+                run_campaign(tiny_spec(), join=True, worker_id="torn",
+                             store=store)
+        with activate(None):
+            finisher = run_campaign(tiny_spec(), join=True,
+                                    worker_id="finisher", store=store,
+                                    lease_ttl=0.05, poll_interval=0.06)
+        assert (finisher.shots_sampled + finisher.shots_replayed
+                + finisher.shots_reused) == reference.shots_sampled
+        assert render(finisher) == render(reference)
+
+    def test_tear_after_records_still_counts_only_results(self, tmp_path):
+        """The pre-existing store-tear fault counts *result* appends
+        only — lease traffic must not advance its ordinal, or joined
+        mode would shift the long-standing chaos-CI semantics."""
+        reference = self._joined_reference(tmp_path)
+        store = str(tmp_path / "store.jsonl")
+        with pytest.raises(InjectedFault, match="store append torn"):
+            with activate(FaultPlan(tear_after_records=1)):
+                run_campaign(tiny_spec(), join=True, worker_id="torn",
+                             store=store)
+        with activate(None):
+            finisher = run_campaign(tiny_spec(), join=True,
+                                    worker_id="finisher", store=store,
+                                    lease_ttl=0.05, poll_interval=0.06)
+        assert (finisher.shots_sampled + finisher.shots_replayed
+                + finisher.shots_reused) == reference.shots_sampled
+        assert render(finisher) == render(reference)
