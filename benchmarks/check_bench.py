@@ -49,6 +49,8 @@ Knobs (environment variables):
   (default 3.0; see below)
 * ``REPRO_CHECK_NATIVE_MIN``   — minimum native-vs-packed decode
   speedup (default 2.0; see below)
+* ``REPRO_CHECK_SERVICE_MIN``  — minimum cached served-campaign
+  throughput in jobs/second (default 2.0; see below)
 
 A **native kernel** gate re-measures the headline batched decode under
 ``backend="native"`` vs ``backend="packed"``
@@ -77,6 +79,16 @@ tables, and come in at least ``REPRO_CHECK_CAMPAIGN_MIN``x faster than
 the cold run.  Skipped with a note when the committed baseline
 predates the ``campaign_resume`` section.
 
+A fifth gate covers the **served-campaign request path**
+(``run_service_requests_comparison``): with the ``repro serve`` stack
+hosted in-process on a warm store, every cached resubmission — a full
+``POST /jobs`` → poll → ``GET /tables`` HTTP round trip — must sample
+zero shots, return byte-identical tables, and the cached throughput
+must stay above ``REPRO_CHECK_SERVICE_MIN`` jobs/second (a floor on
+queue + HTTP overhead, not a cross-host shots/s comparison, so it is
+meaningful on any machine).  Skipped with a note when the committed
+baseline predates the ``service_requests`` section.
+
 Exit codes: 0 pass (always, unless strict), 1 gate failure under
 ``REPRO_CHECK_STRICT=1``, 2 missing/invalid baseline (any mode).
 """
@@ -92,6 +104,7 @@ from perf_smoke import (
     run_adaptive_sweep_comparison,
     run_campaign_resume_comparison,
     run_native_decode_comparison,
+    run_service_requests_comparison,
     time_memory_experiment,
     time_sharded_pipeline,
 )
@@ -228,6 +241,38 @@ def main() -> int:
             print(f"FAIL: campaign resume speedup "
                   f"{campaign['speedup']:.2f}x below the "
                   f"{campaign_min:.1f}x gate", file=sys.stderr)
+            ok = False
+        else:
+            print("  OK")
+
+    if baseline["sections"].get("service_requests") is None:
+        print("note: baseline has no service_requests section; skipping the "
+              "served-campaign gate (re-run perf_smoke to record one)")
+    else:
+        service_min = _float_env("REPRO_CHECK_SERVICE_MIN", 2.0)
+        service_budget = int(baseline["budgets"].get(
+            "service_requests_budget", 900))
+        print(f"measuring served-campaign requests (ci_smoke, budget "
+              f"{service_budget}, cold vs cached over HTTP)...", flush=True)
+        service = run_service_requests_comparison(service_budget)
+        print(f"[service requests] cold {service['cold_seconds']:.2f}s, "
+              f"cached {service['cached_jobs_per_second']:.1f} jobs/s, "
+              f"status {service['status_requests_per_second']:.0f} req/s "
+              f"(cached_shots={service['cached_shots_sampled']}, "
+              f"tables_identical={service['cached_tables_identical']})")
+        if service["cached_shots_sampled"] != 0:
+            print("FAIL: cached served resubmissions sampled "
+                  f"{service['cached_shots_sampled']} shots (must be 0)",
+                  file=sys.stderr)
+            ok = False
+        elif not service["cached_tables_identical"]:
+            print("FAIL: cached served tables differ from the cold job's",
+                  file=sys.stderr)
+            ok = False
+        elif service["cached_jobs_per_second"] < service_min:
+            print(f"FAIL: cached served throughput "
+                  f"{service['cached_jobs_per_second']:.2f} jobs/s below "
+                  f"the {service_min:.1f} jobs/s gate", file=sys.stderr)
             ok = False
         else:
             print("  OK")

@@ -21,6 +21,7 @@ with the environment variables below (e.g. for a quick CI sanity check):
 * ``REPRO_PERF_SHARD_SHOTS``  — sharded-section shots           (100000)
 * ``REPRO_PERF_SWEEP_SHOTS``  — adaptive-sweep shots per point  (4000)
 * ``REPRO_PERF_CAMPAIGN_BUDGET`` — campaign-resume global budget (3000)
+* ``REPRO_PERF_SERVICE_BUDGET``  — served-campaign global budget    (900)
 
 The ``native_decode`` section times the headline batched decode under
 ``backend="native"`` (the compiled C kernel tier of
@@ -51,6 +52,14 @@ twice against one result store — cold, then resumed — and records that
 the resumed run samples **zero** shots while rendering bit-identical
 tables, plus the wall-clock ratio (``check_bench.py`` gates both; also
 single-worker and 1-core-meaningful).
+
+The ``service_requests`` section hosts ``repro serve`` in-process and
+splits a served campaign request into its cold cost (real sampling)
+and its cached cost (``POST /jobs`` → poll → ``GET /tables`` against a
+warm store: zero shots sampled, byte-identical tables) plus plain
+status-poll throughput — the serving tier's RPC-vs-compute budget.
+``check_bench.py`` gates the caching contract and a cached-jobs/s
+floor (``REPRO_CHECK_SERVICE_MIN``); single-worker, 1-core-meaningful.
 
 This is a plain script (not a pytest benchmark) because the boolean
 reference path is deliberately slow — minutes at the default budget —
@@ -548,6 +557,79 @@ def run_campaign_resume_comparison(budget: int) -> dict:
     }
 
 
+def run_service_requests_comparison(budget: int,
+                                    cached_jobs: int = 10,
+                                    status_requests: int = 200) -> dict:
+    """Served-campaign throughput: cold job vs cached resubmissions.
+
+    Hosts the ``repro serve`` stack in-process (real sockets, real
+    HTTP) on a temporary store, runs the bundled ``ci_smoke`` campaign
+    once cold, then measures two request classes against the warm
+    store: *cached resubmissions* — each a full ``POST /jobs`` →
+    poll-to-done → ``GET /tables`` round trip that must sample zero
+    shots and return byte-identical tables — and plain *status polls*
+    (``GET /jobs/<id>``).  The cold/cached split is the serving-tier
+    counterpart of the accelerator papers' RPC-vs-compute budget: it
+    shows how much of a served request is HTTP + queue plumbing once
+    the Monte Carlo work is cached.  Shared by ``perf_smoke.py``
+    (committed section) and ``check_bench.py`` (regression gate:
+    the zero-sampling/bit-identity contract plus a floor on cached
+    jobs/second under ``REPRO_CHECK_SERVICE_MIN``).
+    """
+    import tempfile
+
+    from repro.service import ServiceClient, ServiceThread
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = os.path.join(tmp, "served_store.jsonl")
+        with ServiceThread(store) as service:
+            client = ServiceClient(service.url)
+
+            def run_job():
+                view = client.submit("ci_smoke", budget=budget)
+                final = client.wait(view["job"], poll=0.005)
+                if final["state"] != "done":
+                    raise RuntimeError(
+                        f"served job ended {final['state']}: "
+                        f"{final['error']}")
+                return final, client.tables_bytes(view["job"])
+
+            cold_seconds, (cold, cold_bytes) = _timed(run_job)
+
+            cached_sampled = 0
+            identical = True
+            def run_cached():
+                nonlocal cached_sampled, identical
+                for _ in range(cached_jobs):
+                    final, body = run_job()
+                    cached_sampled += final["stats"]["shots_sampled"]
+                    identical &= body == cold_bytes
+            cached_seconds, _ = _timed(run_cached)
+
+            job_id = cold["job"]
+            status_seconds, _ = _timed(
+                lambda: [client.job(job_id)
+                         for _ in range(status_requests)])
+
+    cached_per_job = cached_seconds / cached_jobs
+    return {
+        "description": f"ci_smoke (budget {budget}) served over HTTP: "
+                       "cold job vs cached resubmissions vs status polls",
+        "budget": budget,
+        "cold_seconds": cold_seconds,
+        "cold_shots_sampled": cold["stats"]["shots_sampled"],
+        "cached_jobs": cached_jobs,
+        "cached_seconds": cached_seconds,
+        "cached_jobs_per_second": cached_jobs / max(cached_seconds, 1e-9),
+        "cached_shots_sampled": cached_sampled,
+        "cached_tables_identical": identical,
+        "speedup": cold_seconds / max(cached_per_job, 1e-9),
+        "status_requests": status_requests,
+        "status_requests_per_second":
+            status_requests / max(status_seconds, 1e-9),
+    }
+
+
 def main() -> None:
     shots = _int_env("REPRO_PERF_SHOTS", 10_000)
     decode_shots = _int_env("REPRO_PERF_DECODE_SHOTS", 2_000)
@@ -555,6 +637,7 @@ def main() -> None:
     shard_shots = _int_env("REPRO_PERF_SHARD_SHOTS", 100_000)
     sweep_shots = _int_env("REPRO_PERF_SWEEP_SHOTS", 4_000)
     campaign_budget = _int_env("REPRO_PERF_CAMPAIGN_BUDGET", 3_000)
+    service_budget = _int_env("REPRO_PERF_SERVICE_BUDGET", 900)
 
     sections = {}
     print(f"frame sampling ({frame_shots} shots)...", flush=True)
@@ -582,6 +665,10 @@ def main() -> None:
           "resumed)...", flush=True)
     sections["campaign_resume"] = run_campaign_resume_comparison(
         campaign_budget)
+    print(f"service requests (ci_smoke, budget {service_budget}, cold job "
+          "vs cached resubmissions over HTTP)...", flush=True)
+    sections["service_requests"] = run_service_requests_comparison(
+        service_budget)
 
     report = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -596,6 +683,7 @@ def main() -> None:
             "sharded_memory_experiment_shots": shard_shots,
             "adaptive_sweep_shots": sweep_shots,
             "campaign_resume_budget": campaign_budget,
+            "service_requests_budget": service_budget,
         },
         "sections": sections,
         "headline_speedup": sections["memory_experiment"]["speedup"],
@@ -642,6 +730,15 @@ def main() -> None:
           f"({campaign['resumed_shots_sampled']} shots sampled)  "
           f"x{campaign['speedup']:.2f}  "
           f"tables_identical={campaign['tables_identical']}")
+    service = sections["service_requests"]
+    print("service_requests:")
+    print(f"  cold job {service['cold_seconds']:8.2f}s  "
+          f"({service['cold_shots_sampled']} shots sampled)")
+    print(f"  cached   {service['cached_jobs_per_second']:8.1f} jobs/s  "
+          f"({service['cached_shots_sampled']} shots sampled, "
+          f"tables_identical={service['cached_tables_identical']})")
+    print(f"  status   {service['status_requests_per_second']:8.0f} "
+          "requests/s")
     print(f"\nheadline speedup: {report['headline_speedup']:.1f}x "
           f"(target >= 5x) on {report['cpu_count']} cores; "
           f"wrote {OUTPUT_PATH}")

@@ -223,6 +223,70 @@ class CampaignResult:
         }
 
 
+def _point_final(point: _CampaignPoint, stored_keys: set[str]) -> bool:
+    """Whether a sampled point can no longer change in this run."""
+    if point.reused or point.key in stored_keys:
+        return True
+    failures, shots = point.tally
+    return (point.target.met(failures, shots)
+            or (point.cap > 0 and shots >= point.cap))
+
+
+def _progress_snapshot(spec: CampaignSpec, points: list[_CampaignPoint],
+                       phase: str, round_index: int | None, budget: int,
+                       shots_sampled: int, shots_reused: int,
+                       shots_replayed: int, shots_external: int,
+                       stored_keys: set[str]) -> dict:
+    """JSON-safe view of a running campaign for progress callbacks.
+
+    This is the payload ``repro serve`` exposes at ``GET /jobs/<id>``,
+    so it is part of the service protocol: points done, the shot
+    ledger so far, and per-sweep confidence-interval widths (the
+    worst remaining half-width per sweep, relative when the sweep's
+    target is).  A pure function of its inputs — emitting progress
+    never perturbs the run.
+    """
+    sweeps = []
+    for sweep_index, sweep in enumerate(spec.sweeps):
+        sweep_points = [point for point in points
+                        if point.sweep_index == sweep_index and point.sampled]
+        max_half_width = None
+        for point in sweep_points:
+            failures, shots = point.tally
+            if shots <= 0:
+                continue
+            fields = tally_point_fields(failures, shots, point.rounds,
+                                        point.target, point.cap)
+            half = (fields["ci_high"] - fields["ci_low"]) / 2.0
+            if point.target.relative and fields["logical_error_rate"] > 0:
+                half /= fields["logical_error_rate"]
+            if max_half_width is None or half > max_half_width:
+                max_half_width = half
+        sweeps.append({
+            "sweep": sweep.name,
+            "kind": sweep.kind,
+            "points": len(sweep_points),
+            "points_final": sum(1 for point in sweep_points
+                                if _point_final(point, stored_keys)),
+            "max_ci_half_width": max_half_width,
+            "target": sweep.target.to_dict(),
+        })
+    sampled = [point for point in points if point.sampled]
+    return {
+        "phase": phase,
+        "round": round_index,
+        "budget": budget,
+        "points_total": len(sampled),
+        "points_final": sum(1 for point in sampled
+                            if _point_final(point, stored_keys)),
+        "shots_sampled": shots_sampled,
+        "shots_reused": shots_reused,
+        "shots_replayed": shots_replayed,
+        "shots_external": shots_external,
+        "sweeps": sweeps,
+    }
+
+
 def _expand_points(spec: CampaignSpec, budget: int,
                    campaign_fp: str) -> list[_CampaignPoint]:
     """Expand the spec via each sweep's kind (latencies compiled here).
@@ -411,6 +475,7 @@ class JoinedCampaign:
                  shard_timeout: float | None = None,
                  max_shard_retries: int | None = None,
                  stop=None,
+                 progress=None,
                  clock=time.time,
                  sleep=time.sleep) -> None:
         spec.validate_names()
@@ -437,6 +502,7 @@ class JoinedCampaign:
                               if poll_interval is not None
                               else min(1.0, ttl / 3.0))
         self.stop = stop
+        self.progress = progress
         self.clock = clock
         self.sleep = sleep
         self.shard_timeout = shard_timeout
@@ -686,7 +752,22 @@ class JoinedCampaign:
             return "contended"
         for key in won:
             self._run_point(self.by_key[key])
+        self._emit("join")
         return "worked"
+
+    def _emit(self, phase: str) -> None:
+        """Progress for a served joined worker: finals in the shared
+        store count as done whichever worker paid for them."""
+        if self.progress is None:
+            return
+        stored = set()
+        for point in self.sampled:
+            record = self.store.get(point.key)
+            if record is not None and not record.get("partial"):
+                stored.add(point.key)
+        self.progress(_progress_snapshot(
+            self.spec, self.points, phase, None, self.budget,
+            self.shots_sampled, 0, self.shots_replayed, 0, stored))
 
     def run(self) -> CampaignResult:
         """Claim and run until every point has a final record."""
@@ -759,7 +840,9 @@ def run_campaign(spec: CampaignSpec,
                  worker_id: "WorkerIdentity | str | None" = None,
                  lease_ttl: float | None = None,
                  claim_batch: int | None = None,
-                 poll_interval: float | None = None) -> CampaignResult:
+                 poll_interval: float | None = None,
+                 progress=None,
+                 pool: "SharedPool | None" = None) -> CampaignResult:
     """Run (or resume) a campaign under its global shot budget.
 
     ``store`` enables resume: a path or :class:`ResultStore` whose
@@ -796,6 +879,23 @@ def run_campaign(spec: CampaignSpec,
     point, so joined tables are bit-identical for any number of
     workers — but differ from a non-joined run of the same spec (the
     store keys differ too, so the two modes never cross-contaminate).
+
+    ``progress`` is an optional callback receiving a JSON-safe
+    snapshot dict (see :func:`_progress_snapshot`) after the reuse
+    scan, after every pilot point, after every refine round and at
+    completion — ``repro serve`` wires it to job status.  ``pool``
+    lends an externally owned :class:`SharedPool` to the run (the
+    service shares one pool across every job); the campaign then
+    neither creates nor closes a pool and sizes the experiments to
+    ``pool.workers``.
+
+    A store shared with other live writers (``--join`` workers or a
+    second plain run of the *same spec and budget*) is re-read before
+    every allocation round: fresh points that gained a final record
+    elsewhere — final on merit, i.e. target met or cap reached — are
+    adopted instead of re-sampled, counted as ``shots_external``
+    against this run's budget exactly like the start-of-run reuse
+    scan.
     """
     if join:
         if store is None:
@@ -811,7 +911,8 @@ def run_campaign(spec: CampaignSpec,
                 spec, store, worker=worker, workers=workers, budget=budget,
                 lease_ttl=lease_ttl, claim_batch=claim_batch,
                 poll_interval=poll_interval, shard_timeout=shard_timeout,
-                max_shard_retries=max_shard_retries, stop=stop) as joined:
+                max_shard_retries=max_shard_retries, stop=stop,
+                progress=progress) as joined:
             return joined.run()
 
     spec.validate_names()
@@ -851,6 +952,7 @@ def run_campaign(spec: CampaignSpec,
     spent = shots_reused
     shots_sampled = 0
     shots_replayed = 0
+    shots_external = 0
     points_finalized = 0
     fresh = [point for point in sampled_points if not point.reused]
 
@@ -859,6 +961,58 @@ def run_campaign(spec: CampaignSpec,
     # so a killed campaign resumes everything already finalised.  The
     # remaining (budget-exhausted) points are flushed at the end.
     stored_keys: set[str] = set()
+
+    def emit(phase: str, round_index: int | None = None) -> None:
+        if progress is None:
+            return
+        progress(_progress_snapshot(
+            spec, points, phase, round_index, effective_budget,
+            shots_sampled - shots_replayed, shots_reused, shots_replayed,
+            shots_external, stored_keys))
+
+    def adopt_external(round_index: int | None = None) -> int:
+        """Fold in finals appended by other processes since we last
+        looked — the mid-run counterpart of the start-of-run reuse
+        scan, so a long-running served job benefits from ``--join``
+        workers (or a second run of the same spec and budget) feeding
+        the same store file.  Only records final *on merit* — target
+        met or cap reached — are adopted; a record final merely
+        because another run's budget ran out keeps sampling here.
+        Returns the adopted shots, which count against this run's
+        budget exactly like start-of-run reuse."""
+        nonlocal shots_external
+        if store is None or store.refresh() == 0:
+            return 0
+        adopted = 0
+        for point in fresh:
+            if point.key in stored_keys:
+                continue
+            # ``final_for``, not ``get``: this run's own in-flight
+            # partial checkpoints land *after* a rival's final under
+            # the same key, and plain last-wins would hide it.
+            record = store.final_for(point.key)
+            if record is None:
+                continue
+            failures = int(record["failures"])
+            shots = int(record["shots"])
+            if not (point.target.met(failures, shots)
+                    or shots >= point.cap):
+                continue
+            point.tally[:] = [failures, shots]
+            point.replay = None
+            point.stage_log.clear()
+            stored_keys.add(point.key)
+            if store.get(point.key) is not record:
+                # Our own partial checkpoint shadows the adopted final
+                # in file order; re-append it so a later cold resume
+                # reuses the point instead of replaying the stale log.
+                store.append({k: v for k, v in record.items()
+                              if k != "version"})
+            shots_external += shots
+            adopted += shots
+        if adopted:
+            emit("external", round_index)
+        return adopted
 
     def flush(point: _CampaignPoint, force: bool = False) -> None:
         nonlocal points_finalized
@@ -911,11 +1065,17 @@ def run_campaign(spec: CampaignSpec,
         return _point_seed(spec.seed, point.sweep_index, point.point_index,
                            stage)
 
+    emit("reuse")
+
     with ExitStack() as stack:
-        pool = None
-        worker_count = resolve_workers(workers)
-        if worker_count > 1 and fresh:
-            pool = stack.enter_context(SharedPool(worker_count))
+        if pool is not None:
+            # Externally owned (the service lends its pool to every
+            # job): use it, never close it.
+            worker_count = pool.workers
+        else:
+            worker_count = resolve_workers(workers)
+            if worker_count > 1 and fresh:
+                pool = stack.enter_context(SharedPool(worker_count))
         experiments: dict = {}
 
         def experiment_for(point: _CampaignPoint,
@@ -1022,6 +1182,7 @@ def run_campaign(spec: CampaignSpec,
                 spent += used
                 shots_sampled += used
             flush(point)
+            emit("pilot")
 
         # Allocate / refine the global pool across every fresh point of
         # every sweep — the single-sweep engine, one level up.
@@ -1037,21 +1198,34 @@ def run_campaign(spec: CampaignSpec,
         ]
 
         def flush_round(round_index: int) -> None:
-            del round_index
             for point in fresh:
                 flush(point)
+            emit("refine", round_index)
 
+        spent_before_refine = spent
         spent_after = run_adaptive_refine(adaptive, effective_budget, spent,
                                           after_round=flush_round,
-                                          should_stop=stop)
-        shots_sampled += spent_after - spent
+                                          should_stop=stop,
+                                          before_round=adopt_external)
+        # The refine spend is everything beyond what we carried in,
+        # minus the external finals adopted between rounds (those were
+        # sampled elsewhere; ``adopt_external`` fed them into the
+        # engine's budget arithmetic but they are not our sampling).
+        shots_sampled += spent_after - spent_before_refine - shots_external
         if stop is not None and stop():
             interrupt("campaign interrupted during refine")
+
+        # One last look before force-flushing: a final that landed
+        # elsewhere after our last round must win over our
+        # budget-exhausted tally (force-flushing ours would clobber
+        # the merit-final record under last-wins resume).
+        adopt_external()
 
         # Whatever is left stopped because the global budget ran out —
         # final for this campaign, so it is stored too.
         for point in fresh:
             flush(point, force=True)
+        emit("final")
 
     targets_met = sum(
         1 for point in sampled_points
@@ -1067,6 +1241,7 @@ def run_campaign(spec: CampaignSpec,
         shots_sampled=shots_sampled - shots_replayed,
         shots_reused=shots_reused,
         shots_replayed=shots_replayed,
+        shots_external=shots_external,
         targets_met=targets_met,
         store_path=str(store.path) if store is not None else None,
     )

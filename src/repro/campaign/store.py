@@ -128,6 +128,11 @@ class ResultStore:
         self.skipped_lines = 0
         self.fsync = os.environ.get("REPRO_STORE_FSYNC") == "1"
         self._records: dict[str, dict] = {}
+        #: Winner per key among *final* records only — a final landed
+        #: by another process stays visible to mid-run adoption even
+        #: after this run's own later partial checkpoints supersede it
+        #: in the plain last-wins view.
+        self._finals: dict[str, dict] = {}
         self._leases: dict[str, Lease] = {}
         self._appends = 0
         self._lease_appends = 0
@@ -225,6 +230,10 @@ class ResultStore:
         current = self._records.get(record["key"])
         if current is None or _epoch_of(record) >= _epoch_of(current):
             self._records[record["key"]] = record
+        if not record.get("partial"):
+            final = self._finals.get(record["key"])
+            if final is None or _epoch_of(record) >= _epoch_of(final):
+                self._finals[record["key"]] = record
 
     def _apply_lease(self, record: dict) -> bool:
         try:
@@ -269,6 +278,16 @@ class ResultStore:
         """The winning record stored under ``key``, or ``None``."""
         return self._records.get(key)
 
+    def final_for(self, key: str) -> dict | None:
+        """The winning *final* (non-partial) record under ``key``.
+
+        Unlike :meth:`get` this is not shadowed by a later partial
+        checkpoint: mid-run adoption asks "has anyone, ever, finalised
+        this point?" — our own in-flight stage log under the same key
+        must not hide a rival's completed answer.
+        """
+        return self._finals.get(key)
+
     def __contains__(self, key: str) -> bool:
         return key in self._records
 
@@ -278,6 +297,28 @@ class ResultStore:
     def records(self) -> list[dict]:
         """All live result records (winner per key), in insertion order."""
         return list(self._records.values())
+
+    def stats(self) -> dict:
+        """JSON-safe inspection summary of the folded store state.
+
+        What ``repro serve`` reports at ``GET /healthz``: live record
+        counts (finals vs partial checkpoints), lease keys ever seen,
+        skipped (torn/foreign) lines and the on-disk bytes as of the
+        last read — enough to watch a shared store converge without
+        parsing the file.
+        """
+        finals = sum(1 for record in self._records.values()
+                     if not record.get("partial"))
+        return {
+            "path": str(self.path),
+            "records": len(self._records),
+            "final_records": finals,
+            "partial_records": len(self._records) - finals,
+            "lease_keys": len(self._leases),
+            "skipped_lines": self.skipped_lines,
+            "bytes_read": self._size_seen,
+            "version": STORE_VERSION,
+        }
 
     def lease_for(self, key: str) -> Lease | None:
         """Folded lease state for ``key`` as of the last read."""

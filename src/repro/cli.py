@@ -17,6 +17,12 @@ Subcommands mirror the library's main entry points:
     ``--join``, become one worker of a multi-host campaign: N joined
     processes sharing one store partition the budget by claiming
     points under TTL'd leases and produce byte-identical tables.
+``serve``
+    Run the campaign job service (``docs/service.md``): an async HTTP
+    API where submitted specs queue onto one executor thread sharing
+    one store and one worker pool — concurrent submissions of the same
+    spec+budget coalesce by content fingerprint, finished points are
+    cache hits for every later job, and SIGTERM drains gracefully.
 ``store``
     Result-store tooling: ``merge`` folds per-host stores into one
     canonical file (bit-identical under any input order), ``verify``
@@ -44,6 +50,7 @@ Examples
         --store /shared/figures.jsonl # one worker of a multi-host run
     python -m repro store merge merged.jsonl hostA.jsonl hostB.jsonl
     python -m repro store verify merged.jsonl
+    python -m repro serve --store served.jsonl --port 8731 --workers 0
     python -m repro speedup
 
 Exit codes
@@ -61,6 +68,12 @@ The ``campaign`` subcommand distinguishes its outcomes (pinned by
       interrupt): everything finalised was flushed to the store and a
       rerun against the same store resumes the remainder
 ====  ==============================================================
+
+``serve`` (also pinned by ``tests/test_cli.py``) exits 0 after a
+graceful SIGTERM/SIGINT drain (queued jobs cancelled, the running job
+stopped at its next point boundary with finalised points flushed — the
+store stays resumable), 1 on a crash (e.g. the port is taken) and 2 on
+usage errors (missing ``--store``, bad ``--port``).
 """
 
 from __future__ import annotations
@@ -277,6 +290,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--claim-batch", type=int, default=None, metavar="N",
         help="points a joined worker claims per scheduling pass "
              "(default: the spec's claim_batch, else 2)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve campaigns over HTTP: a job queue where submitted "
+             "specs share one store, one worker pool and one executor "
+             "thread (see docs/service.md)",
+    )
+    serve_parser.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="JSON-lines result store shared by every served job: "
+             "finished points are cache hits for later submissions, "
+             "and --join workers appending to the same file are folded "
+             "in before every allocation round",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1 — the service is "
+             "unauthenticated, so expose it beyond localhost only "
+             "behind something that authenticates)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8731,
+        help="TCP port (default: 8731; 0 picks an ephemeral port — "
+             "combine with --port-file for discovery)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes in the shared pool every job runs "
+             "through (1: in-process, default; 0: one per core)",
+    )
+    serve_parser.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here after listening starts "
+             "(how scripts discover a --port 0 choice)",
     )
 
     store_parser = subparsers.add_parser(
@@ -526,6 +574,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — block until a signal drains the service.
+
+    Exit codes: 0 after a graceful drain, 1 on a crash (bind failure,
+    unexpected error), 2 on usage errors.  The import is local so the
+    other subcommands never pay for it."""
+    if not 0 <= args.port <= 65535:
+        print(f"--port must be in [0, 65535], got {args.port}",
+              file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    from repro.service import JobQueue, run_service
+    queue = JobQueue(args.store, workers=args.workers)
+    try:
+        return run_service(queue, host=args.host, port=args.port,
+                           port_file=args.port_file)
+    except OSError as error:
+        queue.drain()
+        print(f"cannot serve on {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     """``repro store merge|verify|repair`` — see
     :mod:`repro.campaign.coordination`.  Exit codes: 0 clean, 1
@@ -596,6 +670,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_memory(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "store":
         return _cmd_store(args)
     if args.command == "speedup":

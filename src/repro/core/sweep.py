@@ -147,8 +147,9 @@ class AdaptivePoint:
 def run_adaptive_refine(points: Sequence[AdaptivePoint], global_budget: int,
                         spent: int = 0,
                         after_round: Callable[[int], None] | None = None,
-                        should_stop: Callable[[], bool] | None = None
-                        ) -> int:
+                        should_stop: Callable[[], bool] | None = None,
+                        before_round: Callable[[int], int | None] | None
+                        = None) -> int:
     """Allocate / refine until every point is tight or the budget is gone.
 
     Each round re-allocates the remaining ``global_budget - spent``
@@ -169,10 +170,22 @@ def run_adaptive_refine(points: Sequence[AdaptivePoint], global_budget: int,
     without starting further work (tallies accumulated so far are left
     intact for the caller to flush) — this is the graceful-interrupt
     hook the campaign's SIGINT/SIGTERM handling rides on.
+
+    ``before_round(round_index)`` is invoked before the round's
+    allocation is computed; mutating point tallies there is allowed.
+    The campaign uses it to fold in result-store records appended by
+    other processes (``--join`` workers, other served jobs) so finals
+    paid for elsewhere stop receiving allocations.  Its return value
+    (if not ``None``) is added to ``spent`` — adopted shots count
+    against the global budget exactly like the start-of-run reuse scan.
     """
     for round_index in range(_MAX_REFINE_ROUNDS):
         if should_stop is not None and should_stop():
             break
+        if before_round is not None:
+            adopted = before_round(round_index)
+            if adopted:
+                spent += int(adopted)
         unmet = [index for index, point in enumerate(points)
                  if not point.exhausted and not point.met]
         remaining = global_budget - spent

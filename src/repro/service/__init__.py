@@ -1,0 +1,55 @@
+"""Campaign serving: ``repro serve`` turns campaigns into a job API.
+
+The serving tier over :mod:`repro.campaign` (ROADMAP item 1): a
+stdlib-only async HTTP service with a job queue.  Submit a
+:class:`~repro.campaign.CampaignSpec` to ``POST /jobs``, poll ``GET
+/jobs/<id>`` for progress (points done, the shot ledger, per-sweep CI
+widths), fetch finished :class:`~repro.core.results.ResultTable`
+documents from ``GET /jobs/<id>/tables``.
+
+All jobs share one :class:`~repro.campaign.ResultStore`, one
+:class:`~repro.parallel.pipeline.SharedPool` and one executor thread,
+so the multi-user story falls out of the existing machinery:
+concurrent submissions of the same spec+budget coalesce to one job by
+content fingerprint, a finished job's points are instant cache hits
+for the next user (zero shots sampled, byte-identical tables), and a
+store shared with ``--join`` workers is folded in before every
+allocation round.  Cancellation (``DELETE /jobs/<id>``) and SIGTERM
+drain both ride the orchestrator's graceful ``stop=`` callback — the
+store is always left resumable.
+
+See ``docs/service.md`` for the endpoint reference and deployment
+notes, and ``repro serve --help`` for the CLI.
+"""
+
+from repro.service.app import CampaignService, ServiceThread, run_service
+from repro.service.client import (
+    TERMINAL_STATES,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.jobs import JOB_STATES, Job, JobQueue
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    encode_json,
+    parse_submission,
+    specs_payload,
+)
+
+__all__ = [
+    "CampaignService",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceThread",
+    "TERMINAL_STATES",
+    "encode_json",
+    "parse_submission",
+    "run_service",
+    "specs_payload",
+]

@@ -1,0 +1,258 @@
+"""Async HTTP frontend for the campaign service (stdlib only).
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` —
+no framework, no new dependency, one short-lived connection per
+request (``Connection: close``).  The request path is thin by design
+(the RPCAcc constraint): parse one request line and headers, dispatch
+on ``(method, path)``, answer canonical JSON rendered by
+:mod:`repro.service.protocol`.  Routing runs on the event loop and
+only ever takes the job queue's lock briefly — campaigns execute on
+the queue's single executor thread, so a long cold run never blocks
+status polls or further submissions.
+
+Routes::
+
+    GET    /healthz            queue + store state
+    GET    /specs              builtin specs and sweep-kind schemas
+    POST   /jobs               submit a campaign (201; 200 when
+                               coalesced onto an active duplicate)
+    GET    /jobs               all jobs, submission order
+    GET    /jobs/<id>          status, progress, final stats
+    GET    /jobs/<id>/tables   finished ResultTables (409 until done)
+    DELETE /jobs/<id>          cancel (graceful, store stays resumable)
+
+:func:`run_service` is the blocking entry point behind ``repro
+serve``; :class:`ServiceThread` hosts the same service on a background
+thread for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from pathlib import Path
+
+from repro.service import protocol
+from repro.service.jobs import JobQueue
+from repro.service.protocol import ProtocolError
+
+__all__ = ["CampaignService", "ServiceThread", "run_service"]
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+#: Header-count bound: a legitimate client sends a handful.
+_MAX_HEADER_LINES = 64
+
+
+class CampaignService:
+    """The listening socket + request handling over a :class:`JobQueue`."""
+
+    def __init__(self, queue: JobQueue, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.queue = queue
+        self.host = host
+        self.port = port  # resolved to the bound port by start()
+        self._server: asyncio.Server | None = None
+
+    async def start(self) -> "CampaignService":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def aclose(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    # -- request handling ----------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                status, payload = self._route(method, path, body)
+            except ProtocolError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # noqa: BLE001 — one bad request
+                # must never take the accept loop down with it.
+                status = 500
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+            content = protocol.encode_json(payload)
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(content)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + content)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> tuple[str, str, bytes]:
+        line = await reader.readline()
+        if not line.strip():
+            raise ProtocolError(400, "empty request")
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ProtocolError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise ProtocolError(400, "bad Content-Length") from None
+        else:
+            raise ProtocolError(400, "too many headers")
+        if content_length < 0 or content_length > protocol.MAX_BODY_BYTES:
+            # Drain (a bounded amount of) the oversized body before
+            # answering: rejecting with the client mid-send would reset
+            # the connection and it might never see the 413.
+            remaining = min(max(content_length, 0),
+                            4 * protocol.MAX_BODY_BYTES)
+            while remaining > 0:
+                chunk = await reader.read(min(remaining, 1 << 16))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            raise ProtocolError(413, "request body too large")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method, target.split("?", 1)[0], body
+
+    def _route(self, method: str, path: str,
+               body: bytes) -> tuple[int, object]:
+        segments = [part for part in path.split("/") if part]
+        if segments == ["healthz"] and method == "GET":
+            return 200, self.queue.stats()
+        if segments == ["specs"] and method == "GET":
+            return 200, protocol.specs_payload()
+        if segments and segments[0] == "jobs":
+            if len(segments) == 1:
+                if method == "POST":
+                    spec, budget = protocol.parse_submission(body)
+                    job_id, deduplicated = self.queue.submit(spec, budget)
+                    view = self.queue.describe(job_id)
+                    view["deduplicated"] = deduplicated
+                    return (200 if deduplicated else 201), view
+                if method == "GET":
+                    return 200, {"jobs": self.queue.jobs()}
+                raise ProtocolError(405, f"{method} not allowed on /jobs")
+            job_id = segments[1]
+            if len(segments) == 2:
+                if method == "GET":
+                    return 200, self.queue.describe(job_id)
+                if method == "DELETE":
+                    return 200, self.queue.cancel(job_id)
+                raise ProtocolError(
+                    405, f"{method} not allowed on /jobs/<id>")
+            if (len(segments) == 3 and segments[2] == "tables"
+                    and method == "GET"):
+                return 200, {"tables": self.queue.tables(job_id)}
+        raise ProtocolError(404, f"no route for {method} {path}")
+
+
+def run_service(queue: JobQueue, host: str = "127.0.0.1", port: int = 0,
+                port_file: "str | None" = None, log=print) -> int:
+    """Serve until SIGTERM/SIGINT, then drain gracefully; returns 0.
+
+    The blocking entry point behind ``repro serve``.  ``port_file``
+    (written after bind) lets scripts discover an ephemeral ``--port
+    0`` choice.  On the first signal the listener closes, queued jobs
+    are cancelled and the running job stops at its next point boundary
+    with everything finalised already flushed — the store is left
+    resumable.  Signal handlers are removed once drain starts, so a
+    second signal kills the process the default way.
+    """
+    async def _main() -> int:
+        service = await CampaignService(queue, host, port).start()
+        if port_file:
+            Path(port_file).write_text(f"{service.port}\n")
+        log(f"repro serve: http://{service.host}:{service.port} "
+            f"(store {queue.store.path}, workers {queue.worker_count})")
+        drain = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, drain.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                signal.signal(
+                    signum,
+                    lambda *_: loop.call_soon_threadsafe(drain.set))
+        await drain.wait()
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        log("repro serve: drain requested, finishing the running job")
+        await service.aclose()
+        await loop.run_in_executor(None, queue.drain)
+        log("repro serve: drained")
+        return 0
+    return asyncio.run(_main())
+
+
+class ServiceThread:
+    """The service on a background thread (tests, benchmarks).
+
+    >>> with ServiceThread(store_path) as service:
+    ...     client = ServiceClient(service.url)
+
+    Owns a :class:`JobQueue` built from ``store``/``workers``; exit
+    drains it (graceful — the store stays resumable) and stops the
+    event loop.
+    """
+
+    def __init__(self, store, workers: int = 1,
+                 host: str = "127.0.0.1") -> None:
+        self.queue = JobQueue(store, workers=workers)
+        self.host = host
+        self.port: int | None = None
+        self.url: str | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._service: CampaignService | None = None
+
+    def __enter__(self) -> "ServiceThread":
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-loop",
+            daemon=True)
+        self._thread.start()
+        self._service = CampaignService(self.queue, self.host, 0)
+        asyncio.run_coroutine_threadsafe(
+            self._service.start(), self._loop).result(timeout=10)
+        self.port = self._service.port
+        self.url = f"http://{self.host}:{self.port}"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._service is not None:
+            asyncio.run_coroutine_threadsafe(
+                self._service.aclose(), self._loop).result(timeout=10)
+        self.queue.drain()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()

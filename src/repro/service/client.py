@@ -1,0 +1,113 @@
+"""Minimal stdlib client for the campaign service.
+
+One urllib-based class shared by the unit tests, the perf benchmark
+and the CI smoke script — nothing here that ``curl`` + ``jq`` could
+not do, but having it in-tree keeps the three harnesses byte-for-byte
+consistent about how they submit, poll and fetch tables (the dedupe
+assertions compare raw response bodies).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError", "TERMINAL_STATES"]
+
+#: Job states after which polling stops.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = int(status)
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON client for one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- transport -----------------------------------------------------
+    def request(self, method: str, path: str,
+                payload: object = None) -> tuple[int, bytes]:
+        """One request; returns ``(status, raw body bytes)``."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def json(self, method: str, path: str, payload: object = None,
+             expect: tuple[int, ...] = (200, 201)) -> dict:
+        status, body = self.request(method, path, payload)
+        decoded = json.loads(body) if body else None
+        if status not in expect:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------
+    def healthz(self) -> dict:
+        return self.json("GET", "/healthz")
+
+    def specs(self) -> dict:
+        return self.json("GET", "/specs")
+
+    def submit(self, spec, budget: int | None = None) -> dict:
+        """Submit a builtin name or inline campaign document."""
+        payload = {"spec": spec}
+        if budget is not None:
+            payload["budget"] = budget
+        return self.json("POST", "/jobs", payload)
+
+    def jobs(self) -> list:
+        return self.json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self.json("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self.json("DELETE", f"/jobs/{job_id}")
+
+    def tables_bytes(self, job_id: str) -> bytes:
+        """The raw ``/tables`` body — what byte-identity compares."""
+        status, body = self.request("GET", f"/jobs/{job_id}/tables")
+        if status != 200:
+            raise ServiceError(status,
+                               json.loads(body) if body else None)
+        return body
+
+    def tables(self, job_id: str) -> list:
+        return json.loads(self.tables_bytes(job_id))["tables"]
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job reaches a terminal
+        state; returns the final view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in TERMINAL_STATES:
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['state']!r} "
+                    f"after {timeout}s")
+            time.sleep(poll)

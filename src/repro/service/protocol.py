@@ -1,0 +1,153 @@
+"""Wire protocol of the campaign service: parsing and payload shapes.
+
+Everything the HTTP frontend reads or writes is defined here, separate
+from both the socket handling (:mod:`repro.service.app`) and the job
+execution (:mod:`repro.service.jobs`), so the protocol is testable
+without a running server and the request path stays thin (the RPCAcc
+lesson: on small/cached requests serialization and dispatch overhead —
+not compute — caps throughput).
+
+Two submission shapes are accepted at ``POST /jobs``:
+
+* an **inline campaign document** — the ``CampaignSpec`` JSON itself
+  (recognised by its ``sweeps`` key), run at its own budget;
+* an **envelope** — ``{"spec": <builtin name or inline document>,
+  "budget": <optional override>}``.
+
+Validation failures surface as :class:`ProtocolError` carrying the
+HTTP status and the underlying spec validation message, which the
+frontend renders as ``{"error": ...}`` — a malformed spec is a 4xx
+with the real reason, never a 500.
+
+Responses are rendered through :func:`encode_json` — canonical JSON
+(sorted keys, tight separators) — so equal payloads are equal *bytes*:
+the dedupe guarantee "served twice == run once" is checkable by
+comparing response bodies directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign import (
+    CampaignSpec,
+    available_kinds,
+    available_specs,
+    builtin_spec,
+    kind_by_name,
+)
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "encode_json",
+    "parse_submission",
+    "specs_payload",
+]
+
+#: Reject request bodies past this size before reading them (an inline
+#: campaign document is a few KiB; anything near this is a mistake).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ProtocolError(Exception):
+    """A request error mappable to an HTTP status + JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+
+
+def encode_json(payload: object) -> bytes:
+    """Canonical JSON bytes: sorted keys, tight separators.
+
+    Deterministic rendering is part of the protocol — two jobs that
+    resolve to the same tables return byte-identical ``/tables``
+    bodies, which is what the CI smoke test asserts.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str).encode("utf-8")
+
+
+def parse_submission(body: bytes) -> tuple[CampaignSpec, int | None]:
+    """Parse a ``POST /jobs`` body into ``(spec, budget override)``.
+
+    Raises :class:`ProtocolError` (status 400) with the underlying
+    validation message for anything malformed: non-JSON bodies, unknown
+    builtin names, unknown spec/sweep keys, bad budgets, names that
+    fail the code/codesign registries.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(400, f"request body is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(400, "request body must be a JSON object")
+    budget: int | None = None
+    try:
+        if "sweeps" in payload:
+            spec = CampaignSpec.from_dict(payload)
+        else:
+            unknown = set(payload) - {"spec", "budget"}
+            if unknown:
+                raise ProtocolError(
+                    400, f"unknown submission keys {sorted(unknown)} "
+                         "(an envelope takes 'spec' and optionally "
+                         "'budget'; an inline campaign document needs "
+                         "'sweeps')")
+            source = payload.get("spec")
+            if isinstance(source, str):
+                try:
+                    spec = builtin_spec(source)
+                except KeyError as exc:
+                    raise ProtocolError(400, str(exc.args[0])) from exc
+            elif isinstance(source, dict):
+                spec = CampaignSpec.from_dict(source)
+            else:
+                raise ProtocolError(
+                    400, "'spec' must be a builtin spec name or an "
+                         "inline campaign document")
+            raw_budget = payload.get("budget")
+            if raw_budget is not None:
+                budget = int(raw_budget)
+                if budget < 1:
+                    raise ProtocolError(
+                        400, "budget must be a positive shot count")
+        spec.validate_names()
+    except ProtocolError:
+        raise
+    except (ValueError, TypeError, KeyError) as exc:
+        raise ProtocolError(400, f"invalid campaign spec: {exc}") from exc
+    return spec, budget
+
+
+def specs_payload() -> dict:
+    """``GET /specs``: the machine-readable ``--list-specs`` listing.
+
+    Mirrors :func:`repro.cli._print_specs_and_kinds` — every builtin
+    spec (name, sweep count, budget, description) and every registered
+    sweep kind with its parameter schema.
+    """
+    specs = []
+    for name in available_specs():
+        spec = builtin_spec(name)
+        specs.append({
+            "name": name,
+            "description": spec.description,
+            "budget": spec.budget,
+            "sweeps": len(spec.sweeps),
+        })
+    kinds = []
+    for name in available_kinds():
+        kind = kind_by_name(name)
+        kinds.append({
+            "name": name,
+            "description": kind.description,
+            "params": [
+                {"name": param.name, "type": param.type,
+                 "default": param.default, "doc": param.doc}
+                for param in kind.params
+            ],
+        })
+    return {"specs": specs, "kinds": kinds}

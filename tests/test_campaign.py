@@ -431,6 +431,123 @@ class TestCampaignRun:
         assert result.shots_sampled <= 40
 
 
+def capped_spec(budget: int = 4000) -> CampaignSpec:
+    """Four points whose unreachable target makes every final a
+    cap-final (500 shots each) — the adoptable kind of record."""
+    return CampaignSpec.from_dict({
+        "name": "adoptable", "budget": budget, "seed": 13,
+        "sweeps": [{
+            "name": "capped",
+            "code": "repetition-d3",
+            "kind": "physical_error",
+            "codesign": "cyclone",
+            "physical_error_rates": [5e-3, 1e-2, 1.5e-2, 2e-2],
+            "target": {"half_width": 1e-6},
+            "rounds": 2,
+            "pilot_shots": 32,
+            "shard_shots": 64,
+            "max_shots": 500,
+        }],
+    })
+
+
+class TestMidRunExternalAdoption:
+    """The store is re-folded *before every allocation round*, not just
+    at campaign start — finals another process lands mid-run are
+    adopted instead of re-sampled (the ``repro serve`` + ``--join``
+    coexistence story)."""
+
+    def test_refresh_adopts_rival_finals_mid_run(self, tmp_path):
+        spec = capped_spec()
+        rival_store = ResultStore(tmp_path / "rival.jsonl")
+        cold = run_campaign(spec, store=rival_store)
+        assert cold.shots_sampled == 4 * 500
+        cold_tables = [table.to_json() for table in cold.tables]
+
+        live_path = tmp_path / "live.jsonl"
+        injected = {"done": False}
+
+        def inject_rival_finals(snapshot: dict) -> None:
+            # After the first pilot flush, a rival process lands every
+            # point's cap-final record in the live store *file*.  Only
+            # a refresh() before the next allocation round can see
+            # them — the live run's own store instance predates them.
+            if snapshot["phase"] != "pilot" or injected["done"]:
+                return
+            injected["done"] = True
+            rival = ResultStore(live_path)
+            for record in rival_store.records():
+                if not record.get("partial"):
+                    rival.append(dict(record))
+
+        result = run_campaign(spec, store=ResultStore(live_path),
+                              progress=inject_rival_finals)
+        assert injected["done"]
+        # Every point was adopted; this run sampled only its pilots.
+        assert result.shots_external == 4 * 500
+        assert result.shots_sampled == 4 * 32
+        assert result.shots_reused == 0
+        assert [table.to_json() for table in result.tables] == cold_tables
+
+    def test_budget_exhausted_rival_finals_are_not_adopted(self, tmp_path):
+        # With budget 1000 the campaign force-flushes every point short
+        # of its cap: final records, but only because *that run's*
+        # budget ran dry.  Adopting them would freeze another run's
+        # stopping decision into ours, so they are re-sampled instead.
+        spec = capped_spec(budget=1000)
+        rival_store = ResultStore(tmp_path / "rival.jsonl")
+        cold = run_campaign(spec, store=rival_store)
+        rival_finals = [record for record in rival_store.records()
+                        if not record.get("partial")]
+        assert rival_finals and all(record["shots"] < 500
+                                    for record in rival_finals)
+
+        live_path = tmp_path / "live.jsonl"
+        injected = {"done": False}
+
+        def inject_rival_finals(snapshot: dict) -> None:
+            if snapshot["phase"] != "pilot" or injected["done"]:
+                return
+            injected["done"] = True
+            rival = ResultStore(live_path)
+            for record in rival_finals:
+                rival.append(dict(record))
+
+        result = run_campaign(spec, store=ResultStore(live_path),
+                              progress=inject_rival_finals)
+        assert injected["done"]
+        assert result.shots_external == 0
+        assert result.shots_sampled == cold.shots_sampled
+        assert [table.to_json() for table in result.tables] == \
+            [table.to_json() for table in cold.tables]
+
+    def test_before_round_spend_feeds_the_engine(self):
+        """`before_round`'s return value is external spend: it counts
+        against the global budget exactly like carried-in reuse."""
+        calls: list[int] = []
+
+        def runner(allocation, prior, round_index):
+            del prior, round_index
+            return 0, allocation
+
+        def before_round(round_index: int) -> int:
+            calls.append(round_index)
+            return 100 if round_index == 0 else 0
+
+        points = [
+            AdaptivePoint(target=PrecisionTarget(half_width=1e-9),
+                          cap=1000, runner=runner)
+            for _ in range(2)
+        ]
+        spent = run_adaptive_refine(points, 300, 0,
+                                    before_round=before_round)
+        # 100 of the 300-shot budget was adopted externally before
+        # round 0, so the points' own sampling stays within 200.
+        assert calls and calls[0] == 0
+        assert spent <= 300
+        assert sum(point.tally[1] for point in points) == spent - 100
+
+
 class TestCampaignCLI:
     def test_list_specs(self, capsys):
         assert main(["campaign", "--list-specs"]) == 0

@@ -397,3 +397,44 @@ class TestStoreCommand:
     def test_repair_missing_exits_2(self, capsys, tmp_path):
         assert main(["store", "repair",
                      str(tmp_path / "nope.jsonl")]) == 2
+
+
+class TestServeCommand:
+    """`repro serve` argument handling and exit codes (0 = graceful
+    drain, 1 = crash such as a taken port, 2 = usage); the serving
+    behaviour itself lives in tests/test_service.py."""
+
+    def test_store_flag_is_required(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert excinfo.value.code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_out_of_range_port_exits_2(self, capsys, tmp_path):
+        assert main(["serve", "--store", str(tmp_path / "s.jsonl"),
+                     "--port", "70000"]) == 2
+        assert "port" in capsys.readouterr().err
+
+    def test_negative_workers_exits_2(self, capsys, tmp_path):
+        assert main(["serve", "--store", str(tmp_path / "s.jsonl"),
+                     "--workers", "-2"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_taken_port_exits_1(self, capsys, tmp_path):
+        import socket
+
+        with socket.socket() as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--store", str(tmp_path / "s.jsonl"),
+                         "--port", str(port)]) == 1
+        assert "cannot serve" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--store", "s.jsonl"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8731
+        assert args.workers == 1
+        assert args.port_file is None
